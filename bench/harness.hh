@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared experiment apparatus for the paper-reproduction benchmarks: a
+ * machine + attacker bundle, weakest-victim target selection, and
+ * refresh-phase alignment, so each bench binary reads like its table.
+ */
+#ifndef ANVIL_BENCH_HARNESS_HH
+#define ANVIL_BENCH_HARNESS_HH
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "anvil/anvil.hh"
+#include "attack/hammer.hh"
+#include "attack/memory_layout.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "mem/memory_system.hh"
+#include "pmu/pmu.hh"
+#include "workload/workload.hh"
+
+namespace anvil::bench {
+
+/** A machine with one attacker process that has scanned a 64 MB buffer. */
+class Testbed
+{
+  public:
+    static constexpr std::uint64_t kBufferBytes = 64ULL << 20;
+
+    explicit Testbed(mem::SystemConfig config = mem::SystemConfig{})
+        : machine(config),
+          pmu(machine),
+          attacker(&machine.create_process()),
+          buffer(attacker->mmap(kBufferBytes)),
+          layout(*attacker, machine.dram().address_map(),
+                 machine.hierarchy())
+    {
+        layout.scan(buffer, kBufferBytes);
+    }
+
+    /** Advances the clock to just after @p victim_row's next refresh. */
+    void
+    align_to_refresh(std::uint32_t victim_row)
+    {
+        const auto &schedule = machine.dram().refresh_schedule();
+        machine.advance(schedule.next_refresh(victim_row, machine.now()) +
+                        10 - machine.now());
+    }
+
+    /** True if @p victim has the module's minimum flip threshold. */
+    bool
+    is_weakest(std::uint32_t flat_bank, std::uint32_t victim_row) const
+    {
+        return machine.dram().disturbance(flat_bank).threshold_of(
+                   victim_row) == machine.dram().config().flip_threshold;
+    }
+
+    /** First double-sided target whose victim is maximally sensitive. */
+    std::optional<attack::DoubleSidedTarget>
+    weakest_double_sided(bool require_slice_compatible = false)
+    {
+        for (const auto &t : layout.find_double_sided_targets(1024)) {
+            if (!is_weakest(t.flat_bank, t.victim_row))
+                continue;
+            if (require_slice_compatible &&
+                !attack::ClflushFreeDoubleSided::slice_compatible(
+                    machine, attacker->pid(), t)) {
+                continue;
+            }
+            return t;
+        }
+        return std::nullopt;
+    }
+
+    /** First single-sided target with a maximally sensitive victim. */
+    std::optional<attack::SingleSidedTarget>
+    weakest_single_sided()
+    {
+        for (const auto &t : layout.find_single_sided_targets(1024, 64)) {
+            if (is_weakest(t.flat_bank, t.aggressor_row + 1))
+                return t;
+        }
+        return std::nullopt;
+    }
+
+    mem::MemorySystem machine;
+    pmu::Pmu pmu;
+    mem::AddressSpace *attacker;
+    Addr buffer;
+    attack::MemoryLayout layout;
+};
+
+/**
+ * Rate-boosted importance sampling for false-positive measurements.
+ *
+ * Benchmarks' conflict-thrash phases arrive as a Poisson process at
+ * tenths of a hertz, with per-phase type fractions — far too rare to
+ * observe in a few simulated seconds. Since each phase contributes
+ * independently to the false-positive count, boosting the arrival rate
+ * and dividing the measured rate by the boost is an unbiased estimator.
+ * The boost targets the *rarest* phase component (e.g. gcc's occasional
+ * bursts among its many weak phases) and is capped so phases stay
+ * non-overlapping.
+ *
+ * @return the boost factor applied (divide measured rates by it).
+ */
+inline double
+boost_thrash_rate(workload::SpecProfile &profile,
+                  double target_component_rate = 1.5,
+                  double max_total_rate = 12.0)
+{
+    const double rate = profile.thrash_phases_per_sec;
+    if (rate <= 0.0)
+        return 1.0;
+    double min_fraction = 1.0;
+    const double weak_fraction = 1.0 - profile.thrash_burst_fraction -
+                                 profile.thrash_strong_fraction;
+    for (const double f : {profile.thrash_burst_fraction,
+                           profile.thrash_strong_fraction,
+                           weak_fraction}) {
+        if (f > 1e-9)
+            min_fraction = std::min(min_fraction, f);
+    }
+    double boost = target_component_rate / (rate * min_fraction);
+    boost = std::max(1.0, std::min(boost, max_total_rate / rate));
+    profile.thrash_phases_per_sec = rate * boost;
+    return boost;
+}
+
+}  // namespace anvil::bench
+
+#endif  // ANVIL_BENCH_HARNESS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Section 2.2 bonus claim: "the technique used in the CLFLUSH-free
+ * rowhammering attack can be used in other attacks that need to flush the
+ * cache at specific addresses. For example the Flush+Reload cache
+ * side-channel attack [...] Our CLFLUSH-free cache flushing method can
+ * extend this attack to situations where the CLFLUSH instruction is not
+ * available (e.g., JavaScript)."
+ *
+ * This demo builds that Evict+Reload side channel: a victim process
+ * touches (or doesn't touch) a line of a shared library depending on a
+ * secret bit; a spy with no CLFLUSH evicts the probe line with a
+ * replacement-state-manipulating eviction set, lets the victim run, then
+ * reloads the line and classifies the access latency. The recovered bits
+ * equal the secret.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/memory_layout.hh"
+#include "mem/memory_system.hh"
+
+using namespace anvil;
+
+int
+main()
+{
+    mem::MemorySystem machine{mem::SystemConfig{}};
+
+    // The victim: a process with a "shared library" whose code path
+    // depends on a secret (e.g., a crypto key bit selecting a table
+    // entry).
+    mem::AddressSpace &victim = machine.create_process();
+    const Addr library = victim.mmap(16 * 4096);
+    const Addr probe_victim_va = library + 7 * 4096;  // the watched line
+
+    // The spy: maps the same library (shared file mapping) plus a private
+    // buffer for eviction sets, and uses pagemap + the known cache
+    // mapping — no CLFLUSH anywhere.
+    mem::AddressSpace &spy = machine.create_process();
+    const Addr probe_spy_va =
+        spy.mmap_shared(victim, library, 16 * 4096) + 7 * 4096;
+    const Addr buffer = spy.mmap(64ULL << 20);
+    attack::MemoryLayout layout(spy, machine.dram().address_map(),
+                                machine.hierarchy());
+    layout.scan(buffer, 64ULL << 20);
+    const auto eviction_set = layout.build_eviction_set(probe_spy_va, 16);
+    std::printf("spy: %zu-line eviction set for the shared probe line "
+                "(set %u, slice %u)\n",
+                eviction_set.size(),
+                machine.hierarchy().llc_set(spy.translate(probe_spy_va)),
+                machine.hierarchy().llc_slice(
+                    spy.translate(probe_spy_va)));
+
+    // The latency boundary between "victim touched it" (on-chip hit) and
+    // "still evicted" (DRAM access).
+    const Tick hit_boundary = machine.core().cycles_to_ticks(
+        machine.config().cache.llc_latency + 5);
+
+    const std::string secret = "1011001110001101";
+    std::string recovered;
+    int evictions_failed = 0;
+    for (const char bit : secret) {
+        // EVICT: sweep the eviction set a few times; with 16 conflicts in
+        // a 12-way set the probe line cannot survive.
+        for (int round = 0; round < 4; ++round) {
+            for (const Addr line : eviction_set)
+                machine.access(spy.pid(), line, AccessType::kLoad);
+        }
+        if (machine.hierarchy().present_anywhere(
+                spy.translate(probe_spy_va))) {
+            ++evictions_failed;
+        }
+
+        // VICTIM runs: touches the probe line only if its secret bit is 1.
+        if (bit == '1')
+            machine.access(victim.pid(), probe_victim_va,
+                           AccessType::kLoad);
+
+        // RELOAD: time the access to the shared line.
+        const mem::AccessInfo reload =
+            machine.access(spy.pid(), probe_spy_va, AccessType::kLoad);
+        recovered.push_back(reload.latency <= hit_boundary ? '1' : '0');
+    }
+
+    std::printf("secret:    %s\nrecovered: %s\n", secret.c_str(),
+                recovered.c_str());
+    std::printf("evictions that failed to clear the probe line: %d\n",
+                evictions_failed);
+    std::printf(recovered == secret
+                    ? "side channel works: every bit leaked without "
+                      "CLFLUSH\n"
+                    : "bit errors — tune the eviction pattern\n");
+    return recovered == secret ? 0 : 1;
+}

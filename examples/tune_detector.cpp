@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Detector tuning walkthrough: sweeps ANVIL's main knobs — the Stage-1
+ * miss threshold, the window lengths, and the victim blast radius — and
+ * prints the detection-latency / overhead / false-positive trade-off each
+ * point buys. This is the experiment a deployer would run to pick a
+ * configuration for their own DRAM (Section 4.5: the parameters "are
+ * adaptable to other systems and attack scenarios").
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "anvil/anvil.hh"
+#include "attack/hammer.hh"
+#include "attack/memory_layout.hh"
+#include "common/table.hh"
+#include "mem/memory_system.hh"
+#include "pmu/pmu.hh"
+#include "workload/workload.hh"
+
+using namespace anvil;
+
+namespace {
+
+struct TunePoint {
+    double detect_ms = -1.0;   ///< latency against a CLFLUSH attack
+    bool flipped = false;
+    double overhead_pct = 0.0; ///< on a benign memory-intensive workload
+    std::uint64_t fp_refreshes = 0;
+};
+
+TunePoint
+evaluate(const detector::AnvilConfig &config)
+{
+    TunePoint point;
+
+    // (a) Detection latency and protection against a real attack.
+    {
+        mem::MemorySystem machine{mem::SystemConfig{}};
+        pmu::Pmu pmu(machine);
+        detector::Anvil anvil(machine, pmu, config);
+        anvil.start();
+        mem::AddressSpace &attacker = machine.create_process();
+        const Addr buffer = attacker.mmap(64ULL << 20);
+        attack::MemoryLayout layout(attacker,
+                                    machine.dram().address_map(),
+                                    machine.hierarchy());
+        layout.scan(buffer, 64ULL << 20);
+        const auto targets = layout.find_double_sided_targets(4);
+        if (!targets.empty()) {
+            attack::ClflushDoubleSided hammer(machine, attacker.pid(),
+                                              targets.front());
+            const Tick start = machine.now();
+            const auto result = hammer.run(ms(96));
+            point.flipped = result.flipped;
+            if (!anvil.detections().empty()) {
+                point.detect_ms =
+                    to_ms(anvil.detections().front().time - start);
+            }
+        }
+    }
+
+    // (b) Overhead and false positives on a benign workload.
+    {
+        mem::MemorySystem machine{mem::SystemConfig{}};
+        pmu::Pmu pmu(machine);
+        workload::Workload load(machine,
+                                workload::spec_profile("libquantum"));
+        const Tick base_start = machine.now();
+        load.run_ops(1500000);
+        const Tick base = machine.now() - base_start;
+
+        mem::MemorySystem machine2{mem::SystemConfig{}};
+        pmu::Pmu pmu2(machine2);
+        detector::Anvil anvil(machine2, pmu2, config);
+        anvil.set_ground_truth([] { return false; });
+        anvil.start();
+        workload::Workload load2(machine2,
+                                 workload::spec_profile("libquantum"));
+        const Tick start = machine2.now();
+        load2.run_ops(1500000);
+        point.overhead_pct =
+            100.0 * (static_cast<double>(machine2.now() - start) /
+                         static_cast<double>(base) -
+                     1.0);
+        point.fp_refreshes = anvil.stats().false_positive_refreshes;
+    }
+    return point;
+}
+
+}  // namespace
+
+int
+main()
+{
+    TextTable table("ANVIL tuning sweep (attack: double-sided CLFLUSH; "
+                    "benign: libquantum)");
+    table.set_header({"Configuration", "Detect latency", "Bit flips",
+                      "Overhead", "FP refreshes"});
+
+    auto add_point = [&](const std::string &label,
+                         const detector::AnvilConfig &config) {
+        const TunePoint p = evaluate(config);
+        table.add_row({label,
+                       p.detect_ms >= 0
+                           ? TextTable::fmt(p.detect_ms, 1) + " ms"
+                           : "never",
+                       p.flipped ? "FLIPPED" : "0",
+                       TextTable::fmt(p.overhead_pct, 2) + " %",
+                       TextTable::fmt_count(p.fp_refreshes)});
+    };
+
+    add_point("baseline (Table 2)", detector::AnvilConfig::baseline());
+    add_point("light (10K threshold)", detector::AnvilConfig::light());
+    add_point("heavy (2 ms windows)", detector::AnvilConfig::heavy());
+
+    // Threshold sweep.
+    for (const std::uint64_t threshold : {5000ULL, 40000ULL, 80000ULL}) {
+        detector::AnvilConfig config = detector::AnvilConfig::baseline();
+        config.llc_miss_threshold = threshold;
+        add_point("threshold " + TextTable::fmt_count(threshold), config);
+    }
+
+    // Window sweep.
+    for (const double window_ms : {1.0, 3.0, 12.0}) {
+        detector::AnvilConfig config = detector::AnvilConfig::baseline();
+        config.tc = ms(window_ms);
+        config.ts = ms(window_ms);
+        add_point("tc = ts = " + TextTable::fmt(window_ms, 0) + " ms",
+                  config);
+    }
+
+    // Blast radius sweep (how many rows around an aggressor to refresh).
+    for (const std::uint32_t radius : {2u, 4u}) {
+        detector::AnvilConfig config = detector::AnvilConfig::baseline();
+        config.blast_radius = radius;
+        add_point("blast radius +/-" + std::to_string(radius), config);
+    }
+
+    // The two-stage design ablation: sample continuously, no Stage-1 gate.
+    {
+        detector::AnvilConfig config = detector::AnvilConfig::baseline();
+        config.two_stage = false;
+        add_point("single-stage (always sampling)", config);
+    }
+
+    table.print(std::cout);
+    std::printf("\nReading the table: lower thresholds and shorter windows "
+                "detect faster but sample more often (overhead, false "
+                "positives); larger blast radii cost extra refreshes per "
+                "detection but protect against wider disturbance.\n"
+                "Note the tc = 1 ms row: the threshold is a count per "
+                "window, so shrinking the window without rescaling the "
+                "threshold (20K misses can't accumulate in 1 ms) blinds "
+                "Stage 1 entirely and the attack lands — window and "
+                "threshold must be tuned together, which is why "
+                "ANVIL-heavy keeps 20K over 2 ms only for attacks twice "
+                "as fast as the baseline's.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ANVIL detector configuration (paper Table 2 plus the Section 4.5
+ * sensitivity variants).
+ */
+#ifndef ANVIL_ANVIL_CONFIG_HH
+#define ANVIL_ANVIL_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace anvil::detector {
+
+/** All tunables of the two-stage detector. */
+struct AnvilConfig {
+    std::string name = "ANVIL-baseline";
+
+    // -- Stage 1: LLC miss-rate monitor ------------------------------------
+    /// The point of the two-stage design (Section 3.1): cheap miss-rate
+    /// monitoring gates the expensive sampling. Setting this false
+    /// bypasses Stage 1 and samples continuously — the ablation showing
+    /// why the gate exists.
+    bool two_stage = true;
+    /// Miss-count window (Table 2: 6 ms).
+    Tick tc = ms(6.0);
+    /// Stage-1 trigger: LLC misses within tc. Table 2: 20 K, derived from
+    /// the minimum 220 K accesses per 64 ms refresh period that produced a
+    /// flip (220K * 6/64 = 20.6K).
+    std::uint64_t llc_miss_threshold = 20000;
+
+    // -- Stage 2: address sampling -----------------------------------------
+    /// Sampling window (Table 2: 6 ms).
+    Tick ts = ms(6.0);
+    /// PEBS sampling rate (Section 3.3: 5000 samples/s => ~30 per 6 ms).
+    double samples_per_sec = 5000.0;
+    /// "If load operations account for more than 90% of all misses then
+    /// only loads are sampled; ... less than 10%, only stores."
+    double load_only_fraction = 0.9;
+    double store_only_fraction = 0.1;
+
+    // -- Analysis ------------------------------------------------------------
+    /// Minimum per-aggressor row activations per refresh period assumed
+    /// able to flip bits (the paper's measured 110 K per side).
+    std::uint64_t min_hammer_accesses = 110000;
+    /// DRAM refresh period the derivation assumes.
+    Tick refresh_period = ms(64.0);
+    /// Safety margin: flag rows whose estimated access rate is at least
+    /// 1/safety of the minimum hammering rate.
+    double detection_safety = 2.0;
+    /// A row needs at least this many samples (per ~30-sample window) to
+    /// be considered at all. A genuine aggressor row receives roughly
+    /// half the window's samples, so 3 keeps detection robust while
+    /// rejecting pair-wise sampling coincidences on benign workloads.
+    /// Scaled proportionally when a window collects fewer samples
+    /// (ANVIL-heavy's 2 ms windows see ~10).
+    std::uint32_t min_row_samples = 3;
+    /// Bank-locality filter: cumulative samples (per ~30-sample window)
+    /// of *other* rows in the candidate's bank required to confirm (0
+    /// disables the check). Hammering requires a second hot row in the
+    /// same bank (the row buffer absorbs single-row traffic): an attack's
+    /// co-aggressor supplies ~15 same-bank samples, while scattered
+    /// benign misses average ~1-2 per bank, so 6 separates them with wide
+    /// margin on both sides. Scaled like min_row_samples.
+    std::uint32_t min_bank_samples = 6;
+    /// Sample count the two thresholds above are calibrated for.
+    std::uint32_t nominal_window_samples = 30;
+
+    // -- Protection ----------------------------------------------------------
+    /// Refresh rows within this distance of an aggressor (paper: 1, "our
+    /// approach easily extends to N adjacent rows").
+    std::uint32_t blast_radius = 1;
+
+    // -- Software overhead model (charged to the shared core) ---------------
+    /// Stage-1 window bookkeeping: read+rearm of the miss counter.
+    Cycles stage1_check_cycles = 2600;        // ~1 us
+    /// Per-PEBS-sample cost: PMI, DS-buffer drain, task_struct walk.
+    /// Calibrated (with analysis_cycles) so a workload that saturates
+    /// Stage 1 pays ~3 % — the paper's peak overhead of 3.18 %.
+    Cycles per_sample_cycles = 16000;         // ~6 us
+    /// End-of-window analysis: sort samples, locality checks.
+    Cycles analysis_cycles = 80000;           // ~31 us
+
+    /** Table 2 parameters. */
+    static AnvilConfig baseline();
+
+    /**
+     * Section 4.5 "ANVIL-light": catches attacks spread thinly across a
+     * refresh period — threshold halved to 10 K, windows unchanged.
+     */
+    static AnvilConfig light();
+
+    /**
+     * Section 4.5 "ANVIL-heavy": catches attacks twice as fast as
+     * measured — tc = ts = 2 ms, threshold unchanged.
+     */
+    static AnvilConfig heavy();
+};
+
+}  // namespace anvil::detector
+
+#endif  // ANVIL_ANVIL_CONFIG_HH

@@ -1,0 +1,134 @@
+#include "attack/hammer.hh"
+
+#include <stdexcept>
+
+namespace anvil::attack {
+
+Hammer::Hammer(mem::MemorySystem &mem, Pid pid) : mem_(mem), pid_(pid)
+{
+}
+
+HammerResult
+Hammer::run(Tick max_duration)
+{
+    const dram::DramSystem &dram = mem_.dram();
+    const std::size_t base_flips = dram.flips().size();
+    const Tick start = mem_.now();
+
+    HammerResult result;
+    while (mem_.now() - start < max_duration) {
+        iteration();
+        ++result.iterations;
+        if (dram.flips().size() > base_flips) {
+            result.flipped = true;
+            break;
+        }
+    }
+
+    result.aggressor_accesses =
+        result.iterations * aggressor_accesses_per_iteration();
+    if (result.flipped) {
+        result.duration = dram.flips()[base_flips].time - start;
+        result.flips.assign(dram.flips().begin() +
+                                static_cast<std::ptrdiff_t>(base_flips),
+                            dram.flips().end());
+    } else {
+        result.duration = mem_.now() - start;
+    }
+    return result;
+}
+
+ClflushDoubleSided::ClflushDoubleSided(mem::MemorySystem &mem, Pid pid,
+                                       const DoubleSidedTarget &target,
+                                       AccessType type)
+    : Hammer(mem, pid),
+      a0_(target.low_aggressor_va),
+      a1_(target.high_aggressor_va),
+      type_(type)
+{
+}
+
+void
+ClflushDoubleSided::iteration()
+{
+    // Figure 1a: access both aggressors, then flush both so the next
+    // iteration's accesses reach DRAM.
+    mem_.access(pid_, a0_, type_);
+    mem_.access(pid_, a1_, type_);
+    mem_.clflush(pid_, a0_);
+    mem_.clflush(pid_, a1_);
+}
+
+ClflushSingleSided::ClflushSingleSided(mem::MemorySystem &mem, Pid pid,
+                                       const SingleSidedTarget &target)
+    : Hammer(mem, pid),
+      aggressor_(target.aggressor_va),
+      closer_(target.closer_va)
+{
+}
+
+void
+ClflushSingleSided::iteration()
+{
+    // The far same-bank access forces the aggressor's row closed so the
+    // next iteration re-activates it.
+    mem_.access(pid_, aggressor_, AccessType::kLoad);
+    mem_.access(pid_, closer_, AccessType::kLoad);
+    mem_.clflush(pid_, aggressor_);
+    mem_.clflush(pid_, closer_);
+}
+
+bool
+ClflushFreeDoubleSided::slice_compatible(const mem::MemorySystem &mem,
+                                         Pid pid,
+                                         const DoubleSidedTarget &target)
+{
+    const mem::AddressSpace &space = mem.process(pid);
+    const Addr pa0 = space.translate(target.low_aggressor_va);
+    const Addr pa1 = space.translate(target.high_aggressor_va);
+    if (pa0 == kInvalidAddr || pa1 == kInvalidAddr)
+        return false;
+    // Equal column placement requires the two pages to sit in the same
+    // half of their 8 KB rows (page-offset bit 12 of the physical
+    // address), and the slice hash over the differing row bits must agree.
+    if (((pa0 >> 12) & 1) != ((pa1 >> 12) & 1))
+        return false;
+    const auto &hierarchy = mem.hierarchy();
+    return hierarchy.llc_slice(pa0) == hierarchy.llc_slice(pa1) &&
+           hierarchy.llc_set(pa0) == hierarchy.llc_set(pa1);
+}
+
+ClflushFreeDoubleSided::ClflushFreeDoubleSided(mem::MemorySystem &mem,
+                                               Pid pid,
+                                               const DoubleSidedTarget &target,
+                                               const MemoryLayout &layout)
+    : Hammer(mem, pid),
+      a0_(target.low_aggressor_va),
+      a1_(target.high_aggressor_va)
+{
+    if (!slice_compatible(mem, pid, target)) {
+        throw std::runtime_error(
+            "target aggressors cannot share an LLC set/slice");
+    }
+    // 11 conflicts + the two aggressors = 13 lines contending for the
+    // 12-way set, the same set pressure as the paper's 13-address
+    // eviction set.
+    touches_ = layout.build_eviction_set(a0_, 11);
+}
+
+void
+ClflushFreeDoubleSided::iteration()
+{
+    // Steady state: a0 and a1 alternate in a single way of the set. Each
+    // access of one evicts the other; the 11 touches between them re-set
+    // the remaining ways' MRU bits, forcing the Bit-PLRU global reset
+    // that exposes the aggressors' way as the next victim.
+    mem_.access(pid_, a0_, AccessType::kLoad);
+    for (const Addr t : touches_)
+        mem_.access(pid_, t, AccessType::kLoad);
+    mem_.access(pid_, a1_, AccessType::kLoad);
+    for (const Addr t : touches_)
+        mem_.access(pid_, t, AccessType::kLoad);
+}
+
+}  // namespace anvil::attack

@@ -1,0 +1,119 @@
+#include "attack/memory_layout.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace anvil::attack {
+
+MemoryLayout::MemoryLayout(const mem::AddressSpace &space,
+                           const dram::AddressMap &dram_map,
+                           const cache::CacheHierarchy &hierarchy)
+    : space_(space), dram_map_(dram_map), hierarchy_(hierarchy)
+{
+}
+
+void
+MemoryLayout::scan(Addr va_base, std::uint64_t bytes)
+{
+    for (Addr va = va_base; va < va_base + bytes; va += mem::kPageBytes) {
+        const Addr frame = space_.pagemap(va);
+        if (frame == kInvalidAddr)
+            continue;
+        const dram::DramCoord coord = dram_map_.decode(frame);
+        const std::uint32_t fb = dram_map_.flat_bank(coord);
+        rows_.emplace(std::make_pair(fb, coord.row), va);
+        page_vas_.push_back(va);
+        ++page_count_;
+    }
+}
+
+std::vector<DoubleSidedTarget>
+MemoryLayout::find_double_sided_targets(std::size_t max_targets) const
+{
+    std::vector<DoubleSidedTarget> targets;
+    for (const auto &[key, va] : rows_) {
+        if (targets.size() >= max_targets)
+            break;
+        const auto [bank, row] = key;
+        // va is in row `row`; check for an owned page two rows up, which
+        // sandwiches victim row `row + 1`.
+        auto high = rows_.find({bank, row + 2});
+        if (high == rows_.end())
+            continue;
+        targets.push_back(DoubleSidedTarget{va, high->second, bank,
+                                            row + 1});
+    }
+    return targets;
+}
+
+std::vector<SingleSidedTarget>
+MemoryLayout::find_single_sided_targets(std::size_t max_targets,
+                                        std::uint32_t min_row_gap) const
+{
+    std::vector<SingleSidedTarget> targets;
+    for (const auto &[key, va] : rows_) {
+        if (targets.size() >= max_targets)
+            break;
+        const auto [bank, row] = key;
+        // Find any owned row in the same bank far enough away to act as
+        // the row-closer.
+        for (auto it = rows_.lower_bound({bank, row + min_row_gap});
+             it != rows_.end() && it->first.first == bank; ++it) {
+            targets.push_back(SingleSidedTarget{va, it->second, bank, row});
+            break;
+        }
+    }
+    return targets;
+}
+
+std::vector<Addr>
+MemoryLayout::build_eviction_set(Addr target_va,
+                                 std::size_t n_conflicts) const
+{
+    const Addr target_pa = space_.translate(target_va);
+    if (target_pa == kInvalidAddr)
+        throw std::runtime_error("eviction target is unmapped");
+    const std::uint32_t want_set = hierarchy_.llc_set(target_pa);
+    const std::uint32_t want_slice = hierarchy_.llc_slice(target_pa);
+    const std::uint32_t target_row = dram_map_.decode(target_pa).row;
+    const std::uint32_t target_bank =
+        dram_map_.flat_bank(dram_map_.decode(target_pa));
+
+    std::vector<Addr> conflicts;
+    for (const Addr page_va : page_vas_) {
+        if (conflicts.size() >= n_conflicts)
+            break;
+        const Addr frame = space_.pagemap(page_va);
+        // Only LLC-set-index bits below the page offset vary within a
+        // page, so check each line of the page.
+        for (std::uint32_t off = 0; off < mem::kPageBytes;
+             off += cache::kLineBytes) {
+            const Addr pa = frame + off;
+            if (cache::line_of(pa) == cache::line_of(target_pa))
+                continue;
+            if (hierarchy_.llc_set(pa) != want_set ||
+                hierarchy_.llc_slice(pa) != want_slice) {
+                continue;
+            }
+            // Skip conflicts living near the target's DRAM row so the
+            // eviction traffic itself cannot disturb the intended victim.
+            const dram::DramCoord coord = dram_map_.decode(pa);
+            if (dram_map_.flat_bank(coord) == target_bank &&
+                coord.row + 4 >= target_row && coord.row <= target_row + 4) {
+                continue;
+            }
+            conflicts.push_back(page_va + off);
+            if (conflicts.size() >= n_conflicts)
+                break;
+        }
+    }
+    if (conflicts.size() < n_conflicts) {
+        throw std::runtime_error(
+            "buffer too small to build eviction set: found " +
+            std::to_string(conflicts.size()) + " of " +
+            std::to_string(n_conflicts));
+    }
+    return conflicts;
+}
+
+}  // namespace anvil::attack

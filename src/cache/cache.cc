@@ -1,0 +1,117 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace anvil::cache {
+
+Cache::Cache(std::string name, std::uint32_t sets, std::uint32_t ways,
+             ReplPolicy policy, Rng *rng)
+    : name_(std::move(name)), sets_(sets), ways_(ways)
+{
+    assert(sets > 0 && (sets & (sets - 1)) == 0 && "sets must be 2^k");
+    assert(ways > 0);
+    ways_store_.resize(static_cast<std::size_t>(sets_) * ways_);
+    policies_.reserve(sets_);
+    for (std::uint32_t s = 0; s < sets_; ++s)
+        policies_.push_back(make_set_policy(policy, ways_, rng));
+}
+
+std::uint32_t
+Cache::set_index(Addr pa) const
+{
+    return static_cast<std::uint32_t>((pa >> kLineShift) & (sets_ - 1));
+}
+
+std::optional<std::uint32_t>
+Cache::find(std::uint32_t set, Addr line) const
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Way &way = ways_store_[base + w];
+        if (way.valid && way.line == line)
+            return w;
+    }
+    return std::nullopt;
+}
+
+bool
+Cache::access(Addr pa)
+{
+    const Addr line = line_of(pa);
+    const std::uint32_t set = set_index(pa);
+    ++stats_.accesses;
+    if (auto way = find(set, line)) {
+        ++stats_.hits;
+        policies_[set]->on_access(*way);
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+Cache::contains(Addr pa) const
+{
+    return find(set_index(pa), line_of(pa)).has_value();
+}
+
+std::optional<Addr>
+Cache::fill(Addr pa)
+{
+    const Addr line = line_of(pa);
+    const std::uint32_t set = set_index(pa);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    assert(!find(set, line) && "fill of already-present line");
+
+    ++stats_.fills;
+
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = ways_store_[base + w];
+        if (!way.valid) {
+            way.valid = true;
+            way.line = line;
+            policies_[set]->on_fill(w);
+            return std::nullopt;
+        }
+    }
+
+    const std::uint32_t w = policies_[set]->victim();
+    assert(w < ways_);
+    Way &way = ways_store_[base + w];
+    const Addr evicted = way.line;
+    way.line = line;
+    policies_[set]->on_fill(w);
+    ++stats_.evictions;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr pa)
+{
+    const Addr line = line_of(pa);
+    const std::uint32_t set = set_index(pa);
+    if (auto w = find(set, line)) {
+        ways_store_[static_cast<std::size_t>(set) * ways_ + *w].valid =
+            false;
+        policies_[set]->on_invalidate(*w);
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+std::vector<Addr>
+Cache::lines_in_set(std::uint32_t set) const
+{
+    std::vector<Addr> lines;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Way &way = ways_store_[base + w];
+        if (way.valid)
+            lines.push_back(way.line);
+    }
+    return lines;
+}
+
+}  // namespace anvil::cache

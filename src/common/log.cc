@@ -1,0 +1,93 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace anvil {
+
+const char *
+to_string(DataSource src)
+{
+    switch (src) {
+      case DataSource::kL1: return "L1";
+      case DataSource::kL2: return "L2";
+      case DataSource::kLlc: return "LLC";
+      case DataSource::kDram: return "DRAM";
+    }
+    return "?";
+}
+
+const char *
+to_string(AccessType type)
+{
+    return type == AccessType::kLoad ? "load" : "store";
+}
+
+namespace {
+
+LogLevel
+initial_level()
+{
+    const char *env = std::getenv("ANVIL_LOG");
+    if (env == nullptr)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::kError;
+    return LogLevel::kOff;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+Logger::level()
+{
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void
+Logger::set_level(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+Logger::enabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           g_level.load(std::memory_order_relaxed);
+}
+
+void
+Logger::write(LogLevel level, const std::string &component,
+              const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(level),
+                 component.c_str(), message.c_str());
+}
+
+}  // namespace anvil

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * Log output is off by default (kWarn) so that test and benchmark output
+ * stays clean; raise the level with Logger::set_level or the ANVIL_LOG
+ * environment variable ("debug", "info", "warn", "error", "off").
+ */
+#ifndef ANVIL_COMMON_LOG_HH
+#define ANVIL_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace anvil {
+
+enum class LogLevel : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/** Process-wide logging configuration and sink. */
+class Logger
+{
+  public:
+    /** Currently active level (messages below it are dropped). */
+    static LogLevel level();
+
+    /** Sets the active level. */
+    static void set_level(LogLevel level);
+
+    /** True if a message at @p level would be emitted. */
+    static bool enabled(LogLevel level);
+
+    /** Emits one message (appends a newline) to stderr. */
+    static void write(LogLevel level, const std::string &component,
+                      const std::string &message);
+};
+
+namespace log_detail {
+
+/** Builds and emits a log line on destruction. */
+class LineBuilder
+{
+  public:
+    LineBuilder(LogLevel level, const char *component)
+        : level_(level), component_(component) {}
+
+    ~LineBuilder() { Logger::write(level_, component_, stream_.str()); }
+
+    template <typename T>
+    LineBuilder &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    const char *component_;
+    std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+}  // namespace anvil
+
+#define ANVIL_LOG(level, component)                                          \
+    if (!::anvil::Logger::enabled(level)) {                                  \
+    } else                                                                   \
+        ::anvil::log_detail::LineBuilder(level, component)
+
+#define ANVIL_DEBUG(component) ANVIL_LOG(::anvil::LogLevel::kDebug, component)
+#define ANVIL_INFO(component) ANVIL_LOG(::anvil::LogLevel::kInfo, component)
+#define ANVIL_WARN(component) ANVIL_LOG(::anvil::LogLevel::kWarn, component)
+#define ANVIL_ERROR(component) ANVIL_LOG(::anvil::LogLevel::kError, component)
+
+#endif  // ANVIL_COMMON_LOG_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator.
+ */
+#ifndef ANVIL_COMMON_STATS_HH
+#define ANVIL_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace anvil {
+
+/** Simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running summary statistics (count / mean / min / max / stddev) computed
+ * with Welford's online algorithm, so no samples are stored.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    double min() const;
+    double max() const;
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample reservoir that also keeps full summary stats; percentiles are
+ * computed over the (bounded) stored sample set.
+ */
+class SampleStat
+{
+  public:
+    explicit SampleStat(std::size_t max_samples = 1 << 16)
+        : max_samples_(max_samples) {}
+
+    void add(double x);
+    void reset();
+
+    const RunningStat &summary() const { return summary_; }
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+  private:
+    RunningStat summary_;
+    std::size_t max_samples_;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** A labelled scalar for report output. */
+struct NamedValue {
+    std::string name;
+    double value;
+};
+
+}  // namespace anvil
+
+#endif  // ANVIL_COMMON_STATS_HH

@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace anvil {
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 3;
+
+    os << "\n" << title_ << "\n" << std::string(total, '-') << "\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 3)
+               << cell;
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    os << std::string(total, '-') << "\n";
+}
+
+std::string
+TextTable::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::fmt_count(std::uint64_t value)
+{
+    const std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (digits.size() - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+}  // namespace anvil

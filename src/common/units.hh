@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Time and frequency unit helpers.
+ *
+ * The simulator's base time unit (Tick) is one picosecond, which lets us
+ * represent both CPU cycles at GHz-class frequencies and DRAM timing
+ * parameters (tREFI = 7.8 us, tRFC = 260 ns, ...) without rounding drift.
+ */
+#ifndef ANVIL_COMMON_UNITS_HH
+#define ANVIL_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace anvil {
+
+inline constexpr Tick kTicksPerNs = 1000;
+inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+inline constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * kTicksPerNs); }
+constexpr Tick us(double v) { return static_cast<Tick>(v * kTicksPerUs); }
+constexpr Tick ms(double v) { return static_cast<Tick>(v * kTicksPerMs); }
+constexpr Tick seconds(double v) { return static_cast<Tick>(v * kTicksPerSec); }
+
+constexpr double to_ns(Tick t) { return static_cast<double>(t) / kTicksPerNs; }
+constexpr double to_us(Tick t) { return static_cast<double>(t) / kTicksPerUs; }
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / kTicksPerMs; }
+constexpr double to_sec(Tick t) { return static_cast<double>(t) / kTicksPerSec; }
+
+/**
+ * Converts between CPU cycles and simulator ticks for a fixed core clock.
+ *
+ * The evaluation platform in the paper is an Intel i5-2540M at a nominal
+ * 2.6 GHz; that is the default frequency used throughout.
+ */
+class CoreClock
+{
+  public:
+    explicit constexpr CoreClock(double freq_ghz = 2.6)
+        : freq_ghz_(freq_ghz) {}
+
+    /** Core frequency in GHz. */
+    constexpr double freq_ghz() const { return freq_ghz_; }
+
+    /** Duration of @p cycles cycles, in ticks (picoseconds). */
+    constexpr Tick
+    cycles_to_ticks(Cycles cycles) const
+    {
+        return static_cast<Tick>(static_cast<double>(cycles) * 1000.0 /
+                                 freq_ghz_);
+    }
+
+    /** Number of whole cycles elapsed in @p t ticks. */
+    constexpr Cycles
+    ticks_to_cycles(Tick t) const
+    {
+        return static_cast<Cycles>(static_cast<double>(t) * freq_ghz_ /
+                                   1000.0);
+    }
+
+  private:
+    double freq_ghz_;
+};
+
+}  // namespace anvil
+
+#endif  // ANVIL_COMMON_UNITS_HH

@@ -1,0 +1,84 @@
+#include "dram/address_map.hh"
+
+#include <cassert>
+
+namespace anvil::dram {
+
+std::uint32_t
+AddressMap::log2_exact(std::uint64_t v)
+{
+    assert(v != 0 && (v & (v - 1)) == 0 && "value must be a power of two");
+    std::uint32_t bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+AddressMap::AddressMap(const DramConfig &config)
+    : column_bits_(log2_exact(config.row_bytes)),
+      bank_bits_(log2_exact(config.banks_per_rank)),
+      rank_bits_(log2_exact(config.ranks_per_channel)),
+      channel_bits_(log2_exact(config.channels)),
+      row_bits_(log2_exact(config.rows_per_bank)),
+      banks_per_rank_(config.banks_per_rank),
+      ranks_per_channel_(config.ranks_per_channel),
+      capacity_(config.capacity_bytes())
+{
+    row_stride_ = static_cast<Addr>(1)
+                  << (column_bits_ + bank_bits_ + rank_bits_ +
+                      channel_bits_);
+}
+
+DramCoord
+AddressMap::decode(Addr pa) const
+{
+    assert(pa < capacity_ && "physical address outside module");
+    DramCoord coord;
+    std::uint32_t shift = 0;
+
+    coord.column = static_cast<std::uint32_t>(pa & ((1ULL << column_bits_) -
+                                                    1));
+    shift += column_bits_;
+    coord.bank = static_cast<std::uint32_t>((pa >> shift) &
+                                            ((1ULL << bank_bits_) - 1));
+    shift += bank_bits_;
+    coord.rank = static_cast<std::uint32_t>((pa >> shift) &
+                                            ((1ULL << rank_bits_) - 1));
+    shift += rank_bits_;
+    coord.channel = static_cast<std::uint32_t>((pa >> shift) &
+                                               ((1ULL << channel_bits_) - 1));
+    shift += channel_bits_;
+    coord.row = static_cast<std::uint32_t>((pa >> shift) &
+                                           ((1ULL << row_bits_) - 1));
+    return coord;
+}
+
+Addr
+AddressMap::encode(const DramCoord &coord) const
+{
+    Addr pa = 0;
+    std::uint32_t shift = 0;
+
+    pa |= static_cast<Addr>(coord.column);
+    shift += column_bits_;
+    pa |= static_cast<Addr>(coord.bank) << shift;
+    shift += bank_bits_;
+    pa |= static_cast<Addr>(coord.rank) << shift;
+    shift += rank_bits_;
+    pa |= static_cast<Addr>(coord.channel) << shift;
+    shift += channel_bits_;
+    pa |= static_cast<Addr>(coord.row) << shift;
+    return pa;
+}
+
+std::uint32_t
+AddressMap::flat_bank(const DramCoord &coord) const
+{
+    return (coord.channel * ranks_per_channel_ + coord.rank) *
+               banks_per_rank_ +
+           coord.bank;
+}
+
+}  // namespace anvil::dram

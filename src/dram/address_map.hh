@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping.
+ *
+ * ANVIL's kernel module is "pre-configured using a reverse engineered
+ * physical address to DRAM row and bank mapping scheme" (Section 3.3); this
+ * class is that scheme for the simulated module. The layout places the
+ * column bits lowest, then bank / rank / channel, then row bits highest, so
+ * consecutive physical rows of a bank are `row_stride()` bytes apart —
+ * matching the paper's assumption that sequentially numbered rows are
+ * physically adjacent.
+ */
+#ifndef ANVIL_DRAM_ADDRESS_MAP_HH
+#define ANVIL_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "dram/config.hh"
+
+namespace anvil::dram {
+
+/** Decoded DRAM coordinates of one physical address. */
+struct DramCoord {
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;  ///< byte offset within the row
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+};
+
+/** Bit-slicing address decoder (and encoder, for tests and attacks). */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramConfig &config);
+
+    /** Decodes @p pa into DRAM coordinates. @pre pa < capacity. */
+    DramCoord decode(Addr pa) const;
+
+    /** Encodes coordinates back into a physical address. */
+    Addr encode(const DramCoord &coord) const;
+
+    /**
+     * Globally unique (flattened) bank index in
+     * [0, config.total_banks()).
+     */
+    std::uint32_t flat_bank(const DramCoord &coord) const;
+
+    /** Distance, in bytes of physical address, between rows of a bank. */
+    Addr row_stride() const { return row_stride_; }
+
+    /** Total mapped capacity in bytes. */
+    Addr capacity() const { return capacity_; }
+
+  private:
+    static std::uint32_t log2_exact(std::uint64_t v);
+
+    std::uint32_t column_bits_;
+    std::uint32_t bank_bits_;
+    std::uint32_t rank_bits_;
+    std::uint32_t channel_bits_;
+    std::uint32_t row_bits_;
+    std::uint32_t banks_per_rank_;
+    std::uint32_t ranks_per_channel_;
+    Addr row_stride_;
+    Addr capacity_;
+};
+
+}  // namespace anvil::dram
+
+#endif  // ANVIL_DRAM_ADDRESS_MAP_HH

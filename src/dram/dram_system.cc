@@ -1,0 +1,109 @@
+#include "dram/dram_system.hh"
+
+#include <cassert>
+
+namespace anvil::dram {
+
+Bank::Bank(const DramConfig &config, std::uint32_t flat_bank,
+           const RefreshSchedule &schedule, std::vector<FlipEvent> &flip_log)
+    : config_(config),
+      disturbance_(config, flat_bank, schedule, flip_log)
+{
+}
+
+bool
+Bank::access(std::uint32_t row, Tick now)
+{
+    // A REF command precharges all banks; if one was issued since our last
+    // access, the row buffer no longer holds our row.
+    const Tick t_refi = config_.t_refi();
+    if (open_row_ && now / t_refi != last_access_ / t_refi)
+        open_row_.reset();
+    last_access_ = now;
+
+    if (open_row_ && *open_row_ == row)
+        return true;
+
+    open_row_ = row;
+    ++activations_;
+    disturbance_.on_activate(row, now);
+    return false;
+}
+
+DramSystem::DramSystem(const DramConfig &config)
+    : config_(config), map_(config), schedule_(config)
+{
+    banks_.reserve(config_.total_banks());
+    for (std::uint32_t b = 0; b < config_.total_banks(); ++b)
+        banks_.emplace_back(config_, b, schedule_, flips_);
+}
+
+Tick
+DramSystem::refresh_stall(Tick now) const
+{
+    const Tick t_refi = config_.t_refi();
+    const Tick window_start = (now / t_refi) * t_refi;
+    const Tick window_end = window_start + config_.t_rfc;
+    return now < window_end ? window_end - now : 0;
+}
+
+DramSystem::AccessResult
+DramSystem::access(Addr pa, Tick now)
+{
+    const DramCoord coord = map_.decode(pa);
+    const std::uint32_t fb = map_.flat_bank(coord);
+    assert(fb < banks_.size());
+
+    const Tick stall = refresh_stall(now);
+    const Tick start = now + stall;
+
+    const bool hit = banks_[fb].access(coord.row, start);
+
+    ++stats_.accesses;
+    stats_.refresh_stall += stall;
+    if (hit) {
+        ++stats_.row_hits;
+    } else {
+        ++stats_.row_misses;
+        for (const auto &hook : activation_hooks_)
+            hook(fb, coord.row, start);
+    }
+
+    return AccessResult{stall + (hit ? config_.t_row_hit
+                                     : config_.t_row_miss),
+                        hit};
+}
+
+Addr
+DramSystem::row_to_addr(std::uint32_t flat_bank, std::uint32_t row) const
+{
+    DramCoord coord;
+    const std::uint32_t banks = config_.banks_per_rank;
+    const std::uint32_t ranks = config_.ranks_per_channel;
+    coord.bank = flat_bank % banks;
+    coord.rank = (flat_bank / banks) % ranks;
+    coord.channel = flat_bank / (banks * ranks);
+    coord.row = row;
+    coord.column = 0;
+    return map_.encode(coord);
+}
+
+Tick
+DramSystem::refresh_row(Addr pa, Tick now)
+{
+    ++stats_.selective_refreshes;
+    // The refreshing read goes through the normal access path: it opens the
+    // row (restoring its charge) and — honestly — also disturbs the row's
+    // own neighbours. The protection is sound because ANVIL's selective
+    // read rate is orders of magnitude below the hammering threshold
+    // (Section 3.3).
+    return access(pa, now).latency;
+}
+
+Tick
+DramSystem::refresh_row(std::uint32_t flat_bank, std::uint32_t row, Tick now)
+{
+    return refresh_row(row_to_addr(flat_bank, row), now);
+}
+
+}  // namespace anvil::dram

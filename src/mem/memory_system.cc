@@ -1,0 +1,88 @@
+#include "mem/memory_system.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace anvil::mem {
+
+MemorySystem::MemorySystem(const SystemConfig &config)
+    : config_(config),
+      frames_(config.dram.capacity_bytes(), config.vm_seed),
+      dram_(config.dram),
+      hierarchy_(config.cache)
+{
+}
+
+AddressSpace &
+MemorySystem::create_process()
+{
+    const Pid pid = static_cast<Pid>(spaces_.size());
+    spaces_.push_back(std::make_unique<AddressSpace>(pid, frames_));
+    return *spaces_.back();
+}
+
+AccessInfo
+MemorySystem::access(Pid pid, Addr va, AccessType type)
+{
+    AddressSpace &space = process(pid);
+    const Addr pa = space.translate(va);
+    if (pa == kInvalidAddr)
+        throw std::out_of_range("access to unmapped virtual address");
+
+    const auto on_chip = hierarchy_.access(pa, type);
+    Tick latency = config_.core.cycles_to_ticks(on_chip.latency);
+    if (on_chip.llc_miss) {
+        if (config_.overlap_llc_miss_lookup)
+            latency = dram_.access(pa, clock_.now()).latency;
+        else
+            latency += dram_.access(pa, clock_.now() + latency).latency;
+    }
+
+    clock_.elapse(latency);
+
+    AccessInfo info;
+    info.pid = pid;
+    info.va = va;
+    info.pa = pa;
+    info.type = type;
+    info.source = on_chip.source;
+    info.latency = latency;
+    info.llc_miss = on_chip.llc_miss;
+    info.complete_time = clock_.now();
+
+    for (const auto &observer : observers_)
+        observer(info);
+    return info;
+}
+
+void
+MemorySystem::clflush(Pid pid, Addr va)
+{
+    AddressSpace &space = process(pid);
+    const Addr pa = space.translate(va);
+    if (pa == kInvalidAddr)
+        throw std::out_of_range("clflush of unmapped virtual address");
+    hierarchy_.clflush(pa);
+    clock_.elapse(config_.core.cycles_to_ticks(config_.clflush_cycles));
+}
+
+void
+MemorySystem::advance_cycles(Cycles n)
+{
+    clock_.elapse(config_.core.cycles_to_ticks(n));
+}
+
+void
+MemorySystem::refresh_row_phys(Addr pa)
+{
+    const Tick latency = dram_.refresh_row(pa, clock_.now());
+    clock_.elapse(latency);
+}
+
+void
+MemorySystem::add_observer(Observer observer)
+{
+    observers_.push_back(std::move(observer));
+}
+
+}  // namespace anvil::mem

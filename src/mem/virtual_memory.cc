@@ -1,0 +1,226 @@
+#include "mem/virtual_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+#include <stdexcept>
+
+namespace anvil::mem {
+
+void
+FrameAllocator::ScrambledPool::init(std::uint64_t count, std::uint64_t seed)
+{
+    assert(count > 1);
+    count_ = count;
+    // Smallest even bit width whose 2^bits covers the count; indices that
+    // permute out of range are cycle-walked past.
+    std::uint32_t bits = 2;
+    while ((1ULL << bits) < count)
+        bits += 2;
+    half_bits_ = bits / 2;
+    for (auto &key : round_keys_) {
+        seed = splitmix64(seed);
+        key = seed;
+    }
+}
+
+std::uint64_t
+FrameAllocator::ScrambledPool::permute(std::uint64_t index) const
+{
+    const std::uint64_t half_mask = (1ULL << half_bits_) - 1;
+    std::uint64_t left = index >> half_bits_;
+    std::uint64_t right = index & half_mask;
+    for (const std::uint64_t key : round_keys_) {
+        const std::uint64_t f = splitmix64(right ^ key) & half_mask;
+        const std::uint64_t new_right = left ^ f;
+        left = right;
+        right = new_right;
+    }
+    return (left << half_bits_) | right;
+}
+
+std::uint64_t
+FrameAllocator::ScrambledPool::take()
+{
+    if (!recycled_.empty()) {
+        const std::uint64_t index = recycled_.back();
+        recycled_.pop_back();
+        return index;
+    }
+    while (next_index_ < (1ULL << (2 * half_bits_))) {
+        const std::uint64_t image = permute(next_index_++);
+        if (image < count_)
+            return image;
+    }
+    throw std::bad_alloc();
+}
+
+void
+FrameAllocator::ScrambledPool::put(std::uint64_t index)
+{
+    recycled_.push_back(index);
+}
+
+FrameAllocator::FrameAllocator(std::uint64_t capacity_bytes,
+                               std::uint64_t seed)
+    : total_frames_(capacity_bytes / kPageBytes)
+{
+    assert(capacity_bytes % kPageBytes == 0);
+    // Lower half: scattered 4 KB frames; upper half: 2 MB THP blocks.
+    // (On small test configurations without room for any huge block the
+    // whole space serves 4 KB frames.)
+    const std::uint64_t huge_blocks = capacity_bytes / 2 / kHugeBytes;
+    small_frames_ = total_frames_ - huge_blocks * (kHugeBytes / kPageBytes);
+    huge_base_ = static_cast<Addr>(small_frames_) << kPageShift;
+    small_pool_.init(small_frames_, seed);
+    if (huge_blocks > 1)
+        huge_pool_.init(huge_blocks, splitmix64(seed ^ 0x48554745ULL));
+    else if (huge_blocks == 1)
+        huge_pool_.init(2, splitmix64(seed ^ 0x48554745ULL));
+}
+
+Addr
+FrameAllocator::allocate()
+{
+    const std::uint64_t frame = small_pool_.take();
+    ++allocated_;
+    return frame << kPageShift;
+}
+
+void
+FrameAllocator::free(Addr frame)
+{
+    assert(allocated_ > 0);
+    --allocated_;
+    small_pool_.put(frame >> kPageShift);
+}
+
+Addr
+FrameAllocator::allocate_huge()
+{
+    const std::uint64_t capacity_blocks =
+        (static_cast<std::uint64_t>(total_frames_) * kPageBytes -
+         huge_base_) / kHugeBytes;
+    std::uint64_t block;
+    do {
+        block = huge_pool_.take();
+    } while (block >= capacity_blocks);
+    ++huge_allocated_;
+    return huge_base_ + block * kHugeBytes;
+}
+
+void
+FrameAllocator::free_huge(Addr block)
+{
+    assert(huge_allocated_ > 0);
+    --huge_allocated_;
+    huge_pool_.put((block - huge_base_) / kHugeBytes);
+}
+
+AddressSpace::AddressSpace(Pid pid, FrameAllocator &frames)
+    : pid_(pid), frames_(frames)
+{
+}
+
+Addr
+AddressSpace::mmap(std::uint64_t bytes)
+{
+    const bool huge = bytes >= kHugeBytes;
+    const std::uint64_t granule = huge ? kHugeBytes : kPageBytes;
+    const std::uint64_t chunks = (bytes + granule - 1) / granule;
+    const Addr base = next_va_;
+    next_va_ += chunks * granule;
+    next_va_ += kPageBytes;  // unmapped guard gap between regions
+
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        if (huge) {
+            const Addr block = frames_.allocate_huge();
+            for (std::uint64_t p = 0; p < kHugeBytes / kPageBytes; ++p) {
+                pages_[base + c * kHugeBytes + p * kPageBytes] =
+                    block + p * kPageBytes;
+            }
+        } else {
+            pages_[base + c * kPageBytes] = frames_.allocate();
+        }
+    }
+    regions_.push_back(MappedRegion{base, chunks * granule, huge});
+    return base;
+}
+
+Addr
+AddressSpace::mmap_shared(const AddressSpace &source, Addr src_va,
+                          std::uint64_t bytes)
+{
+    const std::uint64_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    const Addr base = next_va_;
+    next_va_ += pages * kPageBytes + kPageBytes;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        const Addr frame = source.pagemap(src_va + p * kPageBytes);
+        assert(frame != kInvalidAddr && "sharing an unmapped page");
+        pages_[base + p * kPageBytes] = frame;
+    }
+    regions_.push_back(
+        MappedRegion{base, pages * kPageBytes, false, true});
+    return base;
+}
+
+void
+AddressSpace::munmap(Addr va_base, std::uint64_t bytes)
+{
+    auto region = std::find_if(regions_.begin(), regions_.end(),
+                               [&](const MappedRegion &r) {
+                                   return r.va_base == va_base;
+                               });
+    if (region == regions_.end())
+        return;
+    (void)bytes;  // whole-region unmap, like the attack code's usage
+
+    if (region->shared) {
+        // The frames belong to the source mapping; just drop the view.
+        for (std::uint64_t off = 0; off < region->bytes;
+             off += kPageBytes) {
+            pages_.erase(va_base + off);
+        }
+        regions_.erase(region);
+        return;
+    }
+    if (region->huge) {
+        for (std::uint64_t off = 0; off < region->bytes;
+             off += kHugeBytes) {
+            frames_.free_huge(pages_.at(va_base + off));
+            for (std::uint64_t p = 0; p < kHugeBytes / kPageBytes; ++p)
+                pages_.erase(va_base + off + p * kPageBytes);
+        }
+    } else {
+        for (std::uint64_t off = 0; off < region->bytes;
+             off += kPageBytes) {
+            auto it = pages_.find(va_base + off);
+            if (it != pages_.end()) {
+                frames_.free(it->second);
+                pages_.erase(it);
+            }
+        }
+    }
+    regions_.erase(region);
+}
+
+Addr
+AddressSpace::translate(Addr va) const
+{
+    const Addr page = va & ~static_cast<Addr>(kPageBytes - 1);
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        return kInvalidAddr;
+    return it->second | (va & (kPageBytes - 1));
+}
+
+Addr
+AddressSpace::pagemap(Addr va) const
+{
+    const Addr pa = translate(va);
+    if (pa == kInvalidAddr)
+        return kInvalidAddr;
+    return pa & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+}  // namespace anvil::mem

@@ -1,0 +1,77 @@
+#include "mitigations/hardware.hh"
+
+namespace anvil::mitigations {
+
+Para::Para(dram::DramSystem &dram, double probability, std::uint64_t seed)
+    : dram_(dram), probability_(probability), rng_(seed)
+{
+    dram_.add_activation_hook(
+        [this](std::uint32_t bank, std::uint32_t row, Tick now) {
+            on_activation(bank, row, now);
+        });
+}
+
+void
+Para::on_activation(std::uint32_t flat_bank, std::uint32_t row, Tick now)
+{
+    if (in_refresh_)
+        return;  // our own refresh reads do not re-trigger
+    ++stats_.activations_observed;
+    const std::uint32_t rows = dram_.config().rows_per_bank;
+    in_refresh_ = true;
+    // Independent coin per neighbour, as in the PARA proposal. The
+    // refresh read is absorbed into controller slack: it consumes no core
+    // time (this is dedicated hardware), only DRAM state changes.
+    if (row > 0 && rng_.next_bool(probability_)) {
+        dram_.refresh_row(flat_bank, row - 1, now);
+        ++stats_.neighbor_refreshes;
+    }
+    if (row + 1 < rows && rng_.next_bool(probability_)) {
+        dram_.refresh_row(flat_bank, row + 1, now);
+        ++stats_.neighbor_refreshes;
+    }
+    in_refresh_ = false;
+}
+
+Trr::Trr(dram::DramSystem &dram, std::uint64_t max_activations)
+    : dram_(dram), max_activations_(max_activations)
+{
+    dram_.add_activation_hook(
+        [this](std::uint32_t bank, std::uint32_t row, Tick now) {
+            on_activation(bank, row, now);
+        });
+}
+
+void
+Trr::on_activation(std::uint32_t flat_bank, std::uint32_t row, Tick now)
+{
+    if (in_refresh_)
+        return;
+    ++stats_.activations_observed;
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(flat_bank) << 32) | row;
+    const std::uint64_t epoch = now / dram_.config().refresh_period;
+    auto &[count, count_epoch] = counters_[key];
+    if (count_epoch != epoch) {
+        count = 0;
+        count_epoch = epoch;
+    }
+    if (++count < max_activations_)
+        return;
+
+    count = 0;
+    const std::uint32_t rows = dram_.config().rows_per_bank;
+    in_refresh_ = true;
+    if (row > 0) {
+        dram_.refresh_row(flat_bank, row - 1, now);
+        ++stats_.neighbor_refreshes;
+    }
+    if (row + 1 < rows) {
+        dram_.refresh_row(flat_bank, row + 1, now);
+        ++stats_.neighbor_refreshes;
+    }
+    in_refresh_ = false;
+}
+
+}  // namespace anvil::mitigations

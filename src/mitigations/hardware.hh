@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware rowhammer mitigations the paper compares ANVIL against
+ * (Sections 1.2 and 5.2.2). These live in the memory controller / DRAM
+ * device, observe every row activation, and issue neighbour refreshes —
+ * no software, no performance counters, but also "require the
+ * introduction of new hardware" and so cannot protect deployed systems.
+ *
+ *  - PARA (Kim et al., ISCA'14): on every activation, refresh each
+ *    adjacent row with a small independent probability p. A hammering row
+ *    triggers a victim refresh with overwhelming cumulative probability
+ *    long before the flip threshold.
+ *  - TRR (counter-based targeted row refresh, as in LPDDR4/DDR4 and the
+ *    Kim/Nair/Qureshi CAL'15 proposal): count activations per row within
+ *    each refresh window; when a row crosses the maximum activation count
+ *    (MAC), refresh its neighbours and reset its counter.
+ */
+#ifndef ANVIL_MITIGATIONS_HARDWARE_HH
+#define ANVIL_MITIGATIONS_HARDWARE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+
+namespace anvil::mitigations {
+
+/** Counters shared by the hardware mitigations. */
+struct MitigationStats {
+    std::uint64_t activations_observed = 0;
+    std::uint64_t neighbor_refreshes = 0;
+};
+
+/**
+ * PARA: probabilistic adjacent row activation.
+ *
+ * Attach to a DramSystem before issuing traffic; detaching is not
+ * supported (hardware does not unload).
+ */
+class Para
+{
+  public:
+    /**
+     * @param dram        the device to protect
+     * @param probability per-neighbour refresh probability per activation
+     *                    (Kim et al. suggest ~0.001 for large margins)
+     */
+    Para(dram::DramSystem &dram, double probability = 0.001,
+         std::uint64_t seed = 0xBA5EBA11ULL);
+
+    const MitigationStats &stats() const { return stats_; }
+
+  private:
+    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
+                       Tick now);
+
+    dram::DramSystem &dram_;
+    double probability_;
+    Rng rng_;
+    bool in_refresh_ = false;  ///< guards against self-recursion
+    MitigationStats stats_;
+};
+
+/**
+ * Counter-based targeted row refresh.
+ */
+class Trr
+{
+  public:
+    /**
+     * @param dram the device to protect
+     * @param max_activations MAC: activations of one row within one
+     *        refresh window that trigger a neighbour refresh. Must be
+     *        comfortably below the device's flip threshold per side
+     *        (110 K on the paper's module); LPDDR4-era parts quote MACs
+     *        in the tens of thousands.
+     */
+    Trr(dram::DramSystem &dram, std::uint64_t max_activations = 32000);
+
+    const MitigationStats &stats() const { return stats_; }
+
+  private:
+    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
+                       Tick now);
+
+    dram::DramSystem &dram_;
+    std::uint64_t max_activations_;
+    bool in_refresh_ = false;
+    /// (bank, row) -> (count, window epoch); counts reset every refresh
+    /// period, mirroring the per-window MAC definition.
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        counters_;
+    MitigationStats stats_;
+};
+
+}  // namespace anvil::mitigations
+
+#endif  // ANVIL_MITIGATIONS_HARDWARE_HH

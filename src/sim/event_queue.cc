@@ -1,0 +1,105 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace anvil::sim {
+
+EventId
+EventQueue::schedule_at(Tick when, std::function<void()> fn)
+{
+    assert(when >= now_ && "cannot schedule events in the past");
+    const EventId id = next_id_++;
+    events_.emplace(Key{when, id}, std::move(fn));
+    return id;
+}
+
+EventId
+EventQueue::schedule_in(Tick delay, std::function<void()> fn)
+{
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+        if (it->first.id == id) {
+            events_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+Tick
+EventQueue::next_deadline() const
+{
+    if (events_.empty())
+        return std::numeric_limits<Tick>::max();
+    return events_.begin()->first.when;
+}
+
+void
+EventQueue::advance_to(Tick t)
+{
+    // Handlers may themselves elapse time (e.g. ANVIL charging detector
+    // overhead), which re-enters advance_to and can push now_ past t; the
+    // max() below keeps the clock monotonic in that case.
+    while (!events_.empty()) {
+        auto it = events_.begin();
+        if (it->first.when > t)
+            break;
+        // Move the handler out before erasing so it can schedule/cancel.
+        std::function<void()> fn = std::move(it->second);
+        if (it->first.when > now_)
+            now_ = it->first.when;
+        events_.erase(it);
+        fn();
+    }
+    if (t > now_)
+        now_ = t;
+}
+
+PeriodicTimer::PeriodicTimer(EventQueue &queue, Tick period,
+                             std::function<void()> fn)
+    : queue_(queue), period_(period), fn_(std::move(fn))
+{
+}
+
+PeriodicTimer::~PeriodicTimer()
+{
+    stop();
+}
+
+void
+PeriodicTimer::start()
+{
+    stop();
+    running_ = true;
+    arm();
+}
+
+void
+PeriodicTimer::stop()
+{
+    if (pending_ != 0) {
+        queue_.cancel(pending_);
+        pending_ = 0;
+    }
+    running_ = false;
+}
+
+void
+PeriodicTimer::arm()
+{
+    pending_ = queue_.schedule_in(period_, [this] {
+        pending_ = 0;
+        // Re-arm before invoking so the callback can stop() the timer.
+        arm();
+        fn_();
+    });
+}
+
+}  // namespace anvil::sim

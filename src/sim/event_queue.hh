@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Discrete-event queue and simulated clock.
+ *
+ * The simulator is driver-paced: workloads and attacks issue memory
+ * accesses, each of which elapses simulated time; any events (DRAM refresh
+ * bookkeeping, ANVIL window timers, PMU sample flushes) whose deadline was
+ * crossed fire in timestamp order before the access result is returned.
+ */
+#ifndef ANVIL_SIM_EVENT_QUEUE_HH
+#define ANVIL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/types.hh"
+
+namespace anvil::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Simulated clock plus a queue of one-shot callbacks ordered by deadline.
+ *
+ * Ties are broken by scheduling order (FIFO among equal deadlines), which
+ * keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedules @p fn to run at absolute time @p when.
+     * @pre when >= now()
+     * @return a handle usable with cancel().
+     */
+    EventId schedule_at(Tick when, std::function<void()> fn);
+
+    /** Schedules @p fn to run @p delay ticks from now. */
+    EventId schedule_in(Tick delay, std::function<void()> fn);
+
+    /**
+     * Cancels a pending event.
+     * @return true if the event was pending and is now removed.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Advances the clock to @p t, firing every event with deadline <= t in
+     * order. Handlers observe now() == their deadline and may schedule
+     * further events (which also fire if due before @p t).
+     */
+    void advance_to(Tick t);
+
+    /** Advances the clock by @p dt ticks (see advance_to). */
+    void elapse(Tick dt) { advance_to(now_ + dt); }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Deadline of the earliest pending event, or max Tick if none. */
+    Tick next_deadline() const;
+
+  private:
+    struct Key {
+        Tick when;
+        EventId id;
+        bool operator<(const Key &o) const
+        {
+            return when != o.when ? when < o.when : id < o.id;
+        }
+    };
+
+    Tick now_ = 0;
+    EventId next_id_ = 1;
+    std::map<Key, std::function<void()>> events_;
+};
+
+/**
+ * Repeating timer built on an EventQueue.
+ *
+ * Used for ANVIL's tc/ts windows: the callback runs every @p period ticks
+ * until stop() is called. The callback may call stop() or reschedule().
+ */
+class PeriodicTimer
+{
+  public:
+    PeriodicTimer(EventQueue &queue, Tick period, std::function<void()> fn);
+    ~PeriodicTimer();
+
+    PeriodicTimer(const PeriodicTimer &) = delete;
+    PeriodicTimer &operator=(const PeriodicTimer &) = delete;
+
+    /** Starts (or restarts) the timer; first fire is one period from now. */
+    void start();
+
+    /** Stops the timer; no further fires. */
+    void stop();
+
+    /** Changes the period; takes effect at the next (re)arm. */
+    void set_period(Tick period) { period_ = period; }
+
+    Tick period() const { return period_; }
+    bool running() const { return running_; }
+
+  private:
+    void arm();
+
+    EventQueue &queue_;
+    Tick period_;
+    std::function<void()> fn_;
+    EventId pending_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace anvil::sim
+
+#endif  // ANVIL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for virtual memory (frame allocator, address spaces,
+ * pagemap) and the MemorySystem access path / timing.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.hh"
+#include "mem/memory_system.hh"
+#include "mem/virtual_memory.hh"
+
+namespace anvil::mem {
+namespace {
+
+TEST(FrameAllocator, FramesAreUniqueAlignedAndInRange)
+{
+    FrameAllocator alloc(64ULL << 20, 1);
+    std::set<Addr> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr frame = alloc.allocate();
+        EXPECT_EQ(frame % kPageBytes, 0u);
+        EXPECT_LT(frame, 64ULL << 20);
+        EXPECT_TRUE(seen.insert(frame).second) << "duplicate frame";
+    }
+    EXPECT_EQ(alloc.frames_allocated(), 1000u);
+}
+
+TEST(FrameAllocator, ExhaustionThrows)
+{
+    FrameAllocator alloc(16 * kPageBytes, 2);
+    for (int i = 0; i < 16; ++i)
+        alloc.allocate();
+    EXPECT_THROW(alloc.allocate(), std::bad_alloc);
+}
+
+TEST(FrameAllocator, FreeRecyclesFrames)
+{
+    FrameAllocator alloc(16 * kPageBytes, 3);
+    const Addr a = alloc.allocate();
+    alloc.free(a);
+    EXPECT_EQ(alloc.frames_allocated(), 0u);
+    // Exhausting still works because the freed frame returns.
+    std::set<Addr> seen;
+    for (int i = 0; i < 16; ++i)
+        seen.insert(alloc.allocate());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(FrameAllocator, LayoutIsSeedDeterministicAndScattered)
+{
+    FrameAllocator a(1ULL << 30, 42), b(1ULL << 30, 42), c(1ULL << 30, 43);
+    bool differs = false;
+    Addr min_frame = ~0ULL, max_frame = 0;
+    for (int i = 0; i < 256; ++i) {
+        const Addr fa = a.allocate();
+        EXPECT_EQ(fa, b.allocate());
+        differs |= (fa != c.allocate());
+        min_frame = std::min(min_frame, fa);
+        max_frame = std::max(max_frame, fa);
+    }
+    EXPECT_TRUE(differs);
+    // 256 pages must scatter across most of the small-frame region (the
+    // lower half of memory; the upper half backs THP blocks), not sit in
+    // one contiguous chunk.
+    EXPECT_GT(max_frame - min_frame, (1ULL << 30) / 4);
+}
+
+TEST(FrameAllocator, HugeBlocksAreAlignedDisjointAndHigh)
+{
+    FrameAllocator alloc(256ULL << 20, 11);
+    std::set<Addr> blocks;
+    for (int i = 0; i < 32; ++i) {
+        const Addr block = alloc.allocate_huge();
+        EXPECT_EQ(block % kHugeBytes, 0u);
+        EXPECT_LT(block, 256ULL << 20);
+        EXPECT_TRUE(blocks.insert(block).second);
+    }
+    EXPECT_EQ(alloc.huge_blocks_allocated(), 32u);
+    // Huge blocks never collide with the 4 KB pool.
+    for (int i = 0; i < 100; ++i) {
+        const Addr frame = alloc.allocate();
+        for (const Addr block : blocks) {
+            EXPECT_TRUE(frame + kPageBytes <= block ||
+                        frame >= block + kHugeBytes);
+        }
+    }
+}
+
+TEST(FrameAllocator, HugeBlocksRecycle)
+{
+    FrameAllocator alloc(16ULL << 20, 12);  // 4 huge blocks available
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 4; ++i)
+        blocks.push_back(alloc.allocate_huge());
+    EXPECT_THROW(alloc.allocate_huge(), std::bad_alloc);
+    alloc.free_huge(blocks[0]);
+    EXPECT_EQ(alloc.allocate_huge(), blocks[0]);
+}
+
+TEST(AddressSpace, LargeMmapIsHugeBackedAndContiguous)
+{
+    FrameAllocator frames(256ULL << 20, 13);
+    AddressSpace space(0, frames);
+    const Addr base = space.mmap(4 * kHugeBytes);
+    ASSERT_EQ(space.regions().size(), 1u);
+    EXPECT_TRUE(space.regions()[0].huge);
+
+    // Within each 2 MB block the VA->PA mapping is linear.
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        const Addr block_pa = space.translate(base + block * kHugeBytes);
+        EXPECT_EQ(block_pa % kHugeBytes, 0u);
+        for (std::uint64_t off = 0; off < kHugeBytes; off += 37 * 4096 + 3) {
+            EXPECT_EQ(space.translate(base + block * kHugeBytes + off),
+                      block_pa + off);
+        }
+    }
+}
+
+TEST(AddressSpace, SmallMmapStaysOnScatteredFrames)
+{
+    FrameAllocator frames(256ULL << 20, 14);
+    AddressSpace space(0, frames);
+    const Addr base = space.mmap(16 * kPageBytes);
+    ASSERT_EQ(space.regions().size(), 1u);
+    EXPECT_FALSE(space.regions()[0].huge);
+    // Adjacent pages are (almost surely) not physically adjacent.
+    int adjacent = 0;
+    for (int p = 0; p + 1 < 16; ++p) {
+        if (space.pagemap(base + (p + 1) * kPageBytes) ==
+            space.pagemap(base + p * kPageBytes) + kPageBytes) {
+            ++adjacent;
+        }
+    }
+    EXPECT_LT(adjacent, 4);
+}
+
+TEST(AddressSpace, SharedMappingAliasesFrames)
+{
+    FrameAllocator frames(256ULL << 20, 16);
+    AddressSpace owner(1, frames);
+    AddressSpace viewer(2, frames);
+    const Addr src = owner.mmap(4 * kPageBytes);
+    const Addr view = viewer.mmap_shared(owner, src, 4 * kPageBytes);
+    for (std::uint64_t off = 0; off < 4 * kPageBytes; off += 777) {
+        EXPECT_EQ(viewer.translate(view + off), owner.translate(src + off))
+            << "shared pages must alias the owner's frames";
+    }
+}
+
+TEST(AddressSpace, SharedViewOfSubrange)
+{
+    FrameAllocator frames(256ULL << 20, 17);
+    AddressSpace owner(1, frames);
+    AddressSpace viewer(2, frames);
+    const Addr src = owner.mmap(8 * kPageBytes);
+    const Addr view =
+        viewer.mmap_shared(owner, src + 2 * kPageBytes, kPageBytes);
+    EXPECT_EQ(viewer.pagemap(view), owner.pagemap(src + 2 * kPageBytes));
+}
+
+TEST(AddressSpace, UnmappingSharedViewKeepsOwnerFrames)
+{
+    FrameAllocator frames(256ULL << 20, 18);
+    AddressSpace owner(1, frames);
+    AddressSpace viewer(2, frames);
+    const Addr src = owner.mmap(2 * kPageBytes);
+    const std::uint64_t allocated = frames.frames_allocated();
+    const Addr view = viewer.mmap_shared(owner, src, 2 * kPageBytes);
+    EXPECT_EQ(frames.frames_allocated(), allocated);  // no new frames
+    viewer.munmap(view, 2 * kPageBytes);
+    EXPECT_EQ(frames.frames_allocated(), allocated);  // nothing freed
+    EXPECT_EQ(viewer.translate(view), kInvalidAddr);
+    EXPECT_NE(owner.translate(src), kInvalidAddr);
+}
+
+TEST(AddressSpace, MunmapReleasesHugeBlocks)
+{
+    FrameAllocator frames(64ULL << 20, 15);
+    AddressSpace space(0, frames);
+    const Addr base = space.mmap(2 * kHugeBytes);
+    EXPECT_EQ(frames.huge_blocks_allocated(), 2u);
+    space.munmap(base, 2 * kHugeBytes);
+    EXPECT_EQ(frames.huge_blocks_allocated(), 0u);
+    EXPECT_EQ(space.translate(base), kInvalidAddr);
+    EXPECT_TRUE(space.regions().empty());
+}
+
+TEST(AddressSpace, MmapTranslatePagemap)
+{
+    FrameAllocator frames(64ULL << 20, 5);
+    AddressSpace space(7, frames);
+    const Addr base = space.mmap(8 * kPageBytes);
+    EXPECT_EQ(space.mapped_pages(), 8u);
+    EXPECT_EQ(space.pid(), 7u);
+
+    // Offsets within a page share a frame; pagemap returns the frame base.
+    const Addr pa0 = space.translate(base);
+    const Addr pa1 = space.translate(base + 100);
+    EXPECT_EQ(pa1, pa0 + 100);
+    EXPECT_EQ(space.pagemap(base + 100), pa0);
+
+    // Different pages get different frames.
+    EXPECT_NE(space.pagemap(base), space.pagemap(base + kPageBytes));
+}
+
+TEST(AddressSpace, UnmappedAddressesAreInvalid)
+{
+    FrameAllocator frames(64ULL << 20, 6);
+    AddressSpace space(0, frames);
+    EXPECT_EQ(space.translate(0x1234), kInvalidAddr);
+    const Addr base = space.mmap(kPageBytes);
+    // Guard gap after the region stays unmapped.
+    EXPECT_EQ(space.translate(base + kPageBytes), kInvalidAddr);
+}
+
+TEST(AddressSpace, MunmapReleasesFrames)
+{
+    FrameAllocator frames(64ULL << 20, 7);
+    AddressSpace space(0, frames);
+    const Addr base = space.mmap(4 * kPageBytes);
+    EXPECT_EQ(frames.frames_allocated(), 4u);
+    space.munmap(base, 4 * kPageBytes);
+    EXPECT_EQ(frames.frames_allocated(), 0u);
+    EXPECT_EQ(space.translate(base), kInvalidAddr);
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    FrameAllocator frames(64ULL << 20, 8);
+    AddressSpace space(0, frames);
+    const Addr r1 = space.mmap(3 * kPageBytes);
+    const Addr r2 = space.mmap(kPageBytes);
+    EXPECT_GE(r2, r1 + 3 * kPageBytes);
+}
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    static SystemConfig
+    config()
+    {
+        SystemConfig c;
+        // Small module for fast tests.
+        c.dram.ranks_per_channel = 1;
+        c.dram.banks_per_rank = 8;
+        c.dram.rows_per_bank = 4096;
+        return c;
+    }
+
+    MemorySystemTest() : machine_(config()) {}
+
+    mem::MemorySystem machine_;
+};
+
+TEST_F(MemorySystemTest, AccessAdvancesClockByLatency)
+{
+    AddressSpace &proc = machine_.create_process();
+    const Addr va = proc.mmap(kPageBytes);
+    const Tick before = machine_.now();
+    const AccessInfo info = machine_.access(proc.pid(), va,
+                                            AccessType::kLoad);
+    EXPECT_EQ(machine_.now(), before + info.latency);
+    EXPECT_EQ(info.source, DataSource::kDram);
+    EXPECT_TRUE(info.llc_miss);
+    EXPECT_EQ(info.pa, proc.translate(va));
+
+    // Second access: L1 hit, 4 cycles.
+    const AccessInfo hit = machine_.access(proc.pid(), va,
+                                           AccessType::kLoad);
+    EXPECT_EQ(hit.source, DataSource::kL1);
+    EXPECT_EQ(hit.latency,
+              machine_.core().cycles_to_ticks(
+                  machine_.config().cache.l1_latency));
+}
+
+TEST_F(MemorySystemTest, UnmappedAccessThrows)
+{
+    AddressSpace &proc = machine_.create_process();
+    EXPECT_THROW(machine_.access(proc.pid(), 0xdead000, AccessType::kLoad),
+                 std::out_of_range);
+}
+
+TEST_F(MemorySystemTest, ClflushForcesNextAccessToDram)
+{
+    AddressSpace &proc = machine_.create_process();
+    const Addr va = proc.mmap(kPageBytes);
+    machine_.access(proc.pid(), va, AccessType::kLoad);
+    machine_.clflush(proc.pid(), va);
+    const AccessInfo info = machine_.access(proc.pid(), va,
+                                            AccessType::kLoad);
+    EXPECT_EQ(info.source, DataSource::kDram);
+}
+
+TEST_F(MemorySystemTest, ObserverSeesEveryAccess)
+{
+    AddressSpace &proc = machine_.create_process();
+    const Addr va = proc.mmap(kPageBytes);
+    int seen = 0;
+    machine_.add_observer([&](const AccessInfo &info) {
+        ++seen;
+        EXPECT_EQ(info.pid, proc.pid());
+        EXPECT_EQ(info.complete_time, machine_.now());
+    });
+    machine_.access(proc.pid(), va, AccessType::kLoad);
+    machine_.access(proc.pid(), va, AccessType::kStore);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST_F(MemorySystemTest, AdvanceCyclesMatchesCoreClock)
+{
+    const Tick before = machine_.now();
+    machine_.advance_cycles(2600000);  // 1 ms at 2.6 GHz
+    EXPECT_NEAR(to_ms(machine_.now() - before), 1.0, 1e-6);
+}
+
+TEST_F(MemorySystemTest, RefreshRowPhysRestoresCharge)
+{
+    AddressSpace &proc = machine_.create_process();
+    const Addr va = proc.mmap(kPageBytes);
+    const Addr pa = proc.translate(va);
+    machine_.refresh_row_phys(pa);
+    EXPECT_EQ(machine_.dram().stats().selective_refreshes, 1u);
+    EXPECT_GT(machine_.now(), 0u);
+}
+
+TEST_F(MemorySystemTest, ProcessesGetDistinctFrames)
+{
+    AddressSpace &p1 = machine_.create_process();
+    AddressSpace &p2 = machine_.create_process();
+    const Addr va1 = p1.mmap(kPageBytes);
+    const Addr va2 = p2.mmap(kPageBytes);
+    // Address spaces share the VA layout but never a physical frame.
+    EXPECT_EQ(va1, va2);
+    EXPECT_NE(p1.translate(va1), p2.translate(va2));
+}
+
+TEST_F(MemorySystemTest, EventsFireDuringAccessLatency)
+{
+    AddressSpace &proc = machine_.create_process();
+    const Addr va = proc.mmap(kPageBytes);
+    bool fired = false;
+    machine_.clock().schedule_in(1, [&] { fired = true; });
+    machine_.access(proc.pid(), va, AccessType::kLoad);
+    EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace anvil::mem

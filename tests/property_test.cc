@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Cross-module property tests, mostly parameterized sweeps (TEST_P):
+ * address-map round trips over many geometries, disturbance-model
+ * invariants over calibration points, eviction-set correctness over slice
+ * counts, refresh-period sweeps of the attack outcome, and detector
+ * invariants under configuration sweeps.
+ */
+#include <gtest/gtest.h>
+
+#include "anvil/anvil.hh"
+#include "attack/hammer.hh"
+#include "attack/memory_layout.hh"
+#include "common/units.hh"
+#include "dram/dram_system.hh"
+#include "mem/memory_system.hh"
+#include "pmu/pmu.hh"
+#include "workload/workload.hh"
+
+namespace anvil {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Address-map round trip across geometries
+// ---------------------------------------------------------------------------
+
+struct Geometry {
+    std::uint32_t channels;
+    std::uint32_t ranks;
+    std::uint32_t banks;
+    std::uint32_t rows;
+    std::uint32_t row_bytes;
+};
+
+class AddressMapGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(AddressMapGeometry, EncodeDecodeRoundTrip)
+{
+    const Geometry g = GetParam();
+    dram::DramConfig config;
+    config.channels = g.channels;
+    config.ranks_per_channel = g.ranks;
+    config.banks_per_rank = g.banks;
+    config.rows_per_bank = g.rows;
+    config.row_bytes = g.row_bytes;
+    const dram::AddressMap map(config);
+
+    EXPECT_EQ(map.capacity(), config.capacity_bytes());
+    Rng rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr pa = rng.next_below(map.capacity());
+        const dram::DramCoord coord = map.decode(pa);
+        EXPECT_EQ(map.encode(coord), pa);
+        EXPECT_LT(map.flat_bank(coord), config.total_banks());
+    }
+    // Row stride property: +stride = +1 row, same bank/column.
+    const Addr pa = map.capacity() / 3 & ~0xfffULL;
+    const auto a = map.decode(pa);
+    if (a.row + 1 < g.rows) {
+        const auto b = map.decode(pa + map.row_stride());
+        EXPECT_EQ(b.row, a.row + 1);
+        EXPECT_EQ(map.flat_bank(b), map.flat_bank(a));
+        EXPECT_EQ(b.column, a.column);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AddressMapGeometry,
+    ::testing::Values(Geometry{1, 1, 8, 1024, 8192},
+                      Geometry{1, 2, 8, 32768, 8192},
+                      Geometry{2, 2, 8, 16384, 8192},
+                      Geometry{1, 1, 16, 4096, 4096},
+                      Geometry{2, 1, 4, 2048, 16384}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        const Geometry &g = info.param;
+        return "c" + std::to_string(g.channels) + "r" +
+               std::to_string(g.ranks) + "b" + std::to_string(g.banks) +
+               "rows" + std::to_string(g.rows) + "rb" +
+               std::to_string(g.row_bytes);
+    });
+
+// ---------------------------------------------------------------------------
+// Disturbance model calibration sweep
+// ---------------------------------------------------------------------------
+
+/** (activations per side, double-sided?, expect flip?) */
+struct HammerPoint {
+    std::uint64_t per_side;
+    bool double_sided;
+    bool flips;
+};
+
+class DisturbanceCalibration : public ::testing::TestWithParam<HammerPoint>
+{
+};
+
+TEST_P(DisturbanceCalibration, FlipExactlyWhenCalibrationSays)
+{
+    const HammerPoint point = GetParam();
+    dram::DramConfig config;
+    config.ranks_per_channel = 1;
+    config.banks_per_rank = 4;
+    config.rows_per_bank = 1024;
+    config.refresh_slots = 1024;
+    config.variation_spread = 0.0;
+    dram::RefreshSchedule schedule(config);
+    std::vector<dram::FlipEvent> flips;
+    dram::DisturbanceModel model(config, 0, schedule, flips);
+
+    Tick t = us(1);
+    for (std::uint64_t i = 0; i < point.per_side; ++i) {
+        model.on_activate(500, t++);
+        if (point.double_sided)
+            model.on_activate(502, t++);
+    }
+    bool victim_flipped = false;
+    for (const auto &flip : flips)
+        victim_flipped |= (flip.row == 501 || flip.row == 499);
+    if (point.double_sided) {
+        // Only the sandwiched row benefits from the alpha term.
+        bool middle = false;
+        for (const auto &flip : flips)
+            middle |= flip.row == 501;
+        EXPECT_EQ(middle, point.flips);
+    } else {
+        EXPECT_EQ(victim_flipped, point.flips);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CalibrationPoints, DisturbanceCalibration,
+    ::testing::Values(HammerPoint{109000, true, false},   // just short
+                      HammerPoint{110000, true, true},    // Table 1
+                      HammerPoint{150000, true, true},
+                      HammerPoint{199000, false, false},  // single, short
+                      HammerPoint{399999, false, false},  // one short
+                      HammerPoint{400000, false, true},   // Table 1
+                      HammerPoint{120000, false, false}), // 110K is not
+                                                          // enough 1-sided
+    [](const ::testing::TestParamInfo<HammerPoint> &info) {
+        const HammerPoint &p = info.param;
+        return std::string(p.double_sided ? "double" : "single") + "_" +
+               std::to_string(p.per_side) + (p.flips ? "_flips"
+                                                     : "_safe");
+    });
+
+// ---------------------------------------------------------------------------
+// Eviction sets across slice counts
+// ---------------------------------------------------------------------------
+
+class EvictionSetSlices : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(EvictionSetSlices, ConflictsShareSetAndSliceEverywhere)
+{
+    mem::SystemConfig config;
+    config.cache.llc_slices = GetParam();
+    // Keep total capacity constant: 2048 * 2 slices baseline.
+    config.cache.llc_sets_per_slice = 4096 / GetParam();
+    mem::MemorySystem machine(config);
+    mem::AddressSpace &proc = machine.create_process();
+    const Addr buffer = proc.mmap(64ULL << 20);
+    attack::MemoryLayout layout(proc, machine.dram().address_map(),
+                                machine.hierarchy());
+    layout.scan(buffer, 64ULL << 20);
+
+    Rng rng(123);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Addr target =
+            buffer + rng.next_below((64ULL << 20) / 64) * 64;
+        const auto lines = layout.build_eviction_set(target, 12);
+        const Addr target_pa = proc.translate(target);
+        for (const Addr va : lines) {
+            const Addr pa = proc.translate(va);
+            EXPECT_EQ(machine.hierarchy().llc_set(pa),
+                      machine.hierarchy().llc_set(target_pa));
+            EXPECT_EQ(machine.hierarchy().llc_slice(pa),
+                      machine.hierarchy().llc_slice(target_pa));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, EvictionSetSlices,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const auto &info) {
+                             return "slices" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Refresh-period sweep of the flagship attack
+// ---------------------------------------------------------------------------
+
+struct RefreshPoint {
+    double period_ms;
+    bool clflush_flips;  ///< double-sided CLFLUSH outcome
+};
+
+class RefreshSweep : public ::testing::TestWithParam<RefreshPoint>
+{
+};
+
+TEST_P(RefreshSweep, DoubleSidedClflushOutcome)
+{
+    const RefreshPoint point = GetParam();
+    mem::SystemConfig config;
+    config.dram.refresh_period = ms(point.period_ms);
+    mem::MemorySystem machine(config);
+    mem::AddressSpace &attacker = machine.create_process();
+    const Addr buffer = attacker.mmap(64ULL << 20);
+    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
+                                machine.hierarchy());
+    layout.scan(buffer, 64ULL << 20);
+
+    std::optional<attack::DoubleSidedTarget> target;
+    for (const auto &t : layout.find_double_sided_targets(256)) {
+        if (machine.dram().disturbance(t.flat_bank).threshold_of(
+                t.victim_row) == config.dram.flip_threshold) {
+            target = t;
+            break;
+        }
+    }
+    ASSERT_TRUE(target.has_value());
+
+    // Align with the victim's refresh for a clean measurement window.
+    const auto &schedule = machine.dram().refresh_schedule();
+    machine.advance(schedule.next_refresh(target->victim_row,
+                                          machine.now()) +
+                    10 - machine.now());
+
+    attack::ClflushDoubleSided hammer(machine, attacker.pid(), *target);
+    const auto result = hammer.run(ms(point.period_ms) + ms(8));
+    EXPECT_EQ(result.flipped, point.clflush_flips);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Periods, RefreshSweep,
+    ::testing::Values(RefreshPoint{64.0, true}, RefreshPoint{32.0, true},
+                      RefreshPoint{16.0, true},
+                      // Section 2.1: "Going from a 64ms refresh period to
+                      // the 15ms required to protect our DRAM" — at 12 ms
+                      // even the fastest attack cannot accumulate 110 K
+                      // per side.
+                      RefreshPoint{12.0, false}),
+    [](const auto &info) {
+        return "period" +
+               std::to_string(static_cast<int>(info.param.period_ms)) +
+               "ms";
+    });
+
+// ---------------------------------------------------------------------------
+// Detector invariants across configurations
+// ---------------------------------------------------------------------------
+
+class DetectorConfigSweep
+    : public ::testing::TestWithParam<detector::AnvilConfig>
+{
+};
+
+TEST_P(DetectorConfigSweep, StopsTheBaselineAttackWithZeroFlips)
+{
+    mem::MemorySystem machine{mem::SystemConfig{}};
+    pmu::Pmu pmu(machine);
+    detector::Anvil anvil(machine, pmu, GetParam());
+    anvil.start();
+
+    mem::AddressSpace &attacker = machine.create_process();
+    const Addr buffer = attacker.mmap(64ULL << 20);
+    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
+                                machine.hierarchy());
+    layout.scan(buffer, 64ULL << 20);
+    const auto targets = layout.find_double_sided_targets(4);
+    ASSERT_FALSE(targets.empty());
+    attack::ClflushDoubleSided hammer(machine, attacker.pid(),
+                                      targets.front());
+    const auto result = hammer.run(ms(128));
+    EXPECT_FALSE(result.flipped);
+    EXPECT_GE(anvil.stats().detections, 1u);
+    // Selective refreshes stay orders of magnitude below hammering rates.
+    const double per_64ms = static_cast<double>(
+                                anvil.stats().selective_refreshes) /
+                            (to_ms(machine.now()) / 64.0);
+    EXPECT_LT(per_64ms, 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DetectorConfigSweep,
+    ::testing::Values(detector::AnvilConfig::baseline(),
+                      detector::AnvilConfig::light(),
+                      detector::AnvilConfig::heavy()),
+    [](const ::testing::TestParamInfo<detector::AnvilConfig> &info) {
+        std::string name = info.param.name;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Workload determinism across the whole suite
+// ---------------------------------------------------------------------------
+
+class WorkloadSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadSweep, RunsDeterministicallyAndNeverFlips)
+{
+    auto run = [&] {
+        mem::MemorySystem machine{mem::SystemConfig{}};
+        workload::Workload load(machine,
+                                workload::spec_profile(GetParam()));
+        load.run_ops(200000);
+        EXPECT_TRUE(machine.dram().flips().empty());
+        return machine.now();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSweep,
+    ::testing::Values("astar", "bzip2", "gcc", "gobmk", "h264ref", "hmmer",
+                      "libquantum", "mcf", "omnetpp", "perlbench", "sjeng",
+                      "xalancbmk"),
+    [](const auto &info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace anvil

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core (event queue, periodic timer),
+ * including the nested time-advance behaviour the ANVIL module relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace anvil::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, FiresEventsInTimestampOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(30, [&] { order.push_back(3); });
+    q.schedule_at(10, [&] { order.push_back(1); });
+    q.schedule_at(20, [&] { order.push_back(2); });
+    q.advance_to(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, EqualDeadlinesFireFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(5, [&] { order.push_back(1); });
+    q.schedule_at(5, [&] { order.push_back(2); });
+    q.schedule_at(5, [&] { order.push_back(3); });
+    q.advance_to(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, HandlerObservesItsDeadline)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule_at(42, [&] { seen = q.now(); });
+    q.advance_to(100);
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, EventsBeyondTargetStayPending)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule_at(50, [&] { fired = true; });
+    q.advance_to(49);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.pending(), 1u);
+    q.advance_to(50);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule_at(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // already gone
+    q.advance_to(20);
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, HandlersMayScheduleFurtherDueEvents)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    q.schedule_at(10, [&] {
+        fires.push_back(q.now());
+        q.schedule_at(15, [&] { fires.push_back(q.now()); });
+    });
+    q.advance_to(20);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, NestedElapseKeepsClockMonotonic)
+{
+    // An event handler that itself elapses time (ANVIL charging detector
+    // overhead) must not make the clock run backwards afterwards.
+    EventQueue q;
+    std::vector<Tick> trace;
+    q.schedule_at(10, [&] {
+        q.elapse(100);  // nested: pushes now to 110
+        trace.push_back(q.now());
+    });
+    q.schedule_at(50, [&] { trace.push_back(q.now()); });
+    q.advance_to(60);
+    ASSERT_EQ(trace.size(), 2u);
+    // The t=50 event fires *during* the nested elapse (at its own
+    // deadline), before the outer handler resumes at t=110.
+    EXPECT_EQ(trace[0], 50u);
+    EXPECT_EQ(trace[1], 110u);
+    EXPECT_EQ(q.now(), 110u);  // never pulled back to 60
+}
+
+TEST(EventQueue, NextDeadlineReportsEarliest)
+{
+    EventQueue q;
+    EXPECT_EQ(q.next_deadline(), std::numeric_limits<Tick>::max());
+    q.schedule_at(30, [] {});
+    q.schedule_at(20, [] {});
+    EXPECT_EQ(q.next_deadline(), 20u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    q.advance_to(100);
+    Tick fired_at = 0;
+    q.schedule_in(5, [&] { fired_at = q.now(); });
+    q.advance_to(200);
+    EXPECT_EQ(fired_at, 105u);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod)
+{
+    EventQueue q;
+    int fires = 0;
+    PeriodicTimer timer(q, 10, [&] { ++fires; });
+    timer.start();
+    q.advance_to(55);
+    EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, StopHaltsFiring)
+{
+    EventQueue q;
+    int fires = 0;
+    PeriodicTimer timer(q, 10, [&] { ++fires; });
+    timer.start();
+    q.advance_to(25);
+    timer.stop();
+    q.advance_to(100);
+    EXPECT_EQ(fires, 2);
+    EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, CallbackMayStopItself)
+{
+    EventQueue q;
+    int fires = 0;
+    PeriodicTimer self(q, 10, [&] {
+        ++fires;
+        if (fires >= 2)
+            self.stop();
+    });
+    self.start();
+    q.advance_to(100);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    PeriodicTimer timer(q, 10, [&] { fires.push_back(q.now()); });
+    timer.start();
+    q.advance_to(15);
+    timer.start();  // restart at t=15: next fire at 25
+    q.advance_to(30);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 25}));
+}
+
+TEST(PeriodicTimer, DestructionCancelsCleanly)
+{
+    EventQueue q;
+    int fires = 0;
+    {
+        PeriodicTimer timer(q, 10, [&] { ++fires; });
+        timer.start();
+    }
+    q.advance_to(100);
+    EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace anvil::sim
