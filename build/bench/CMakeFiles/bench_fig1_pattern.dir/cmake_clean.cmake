@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pattern.dir/bench_fig1_pattern.cc.o"
+  "CMakeFiles/bench_fig1_pattern.dir/bench_fig1_pattern.cc.o.d"
+  "bench_fig1_pattern"
+  "bench_fig1_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_false_positives.dir/bench_table4_false_positives.cc.o"
+  "CMakeFiles/bench_table4_false_positives.dir/bench_table4_false_positives.cc.o.d"
+  "bench_table4_false_positives"
+  "bench_table4_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

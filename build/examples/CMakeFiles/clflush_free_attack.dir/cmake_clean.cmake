@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clflush_free_attack.dir/clflush_free_attack.cpp.o"
+  "CMakeFiles/clflush_free_attack.dir/clflush_free_attack.cpp.o.d"
+  "clflush_free_attack"
+  "clflush_free_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clflush_free_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evict_reload.dir/evict_reload.cpp.o"
+  "CMakeFiles/evict_reload.dir/evict_reload.cpp.o.d"
+  "evict_reload"
+  "evict_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evict_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

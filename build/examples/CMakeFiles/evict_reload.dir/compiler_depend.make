@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for evict_reload.
+# This may be replaced when dependencies are built.

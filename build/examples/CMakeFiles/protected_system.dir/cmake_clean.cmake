@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_system.dir/protected_system.cpp.o"
+  "CMakeFiles/protected_system.dir/protected_system.cpp.o.d"
+  "protected_system"
+  "protected_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_detector.dir/tune_detector.cpp.o"
+  "CMakeFiles/tune_detector.dir/tune_detector.cpp.o.d"
+  "tune_detector"
+  "tune_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

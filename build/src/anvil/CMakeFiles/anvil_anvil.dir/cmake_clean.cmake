@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_anvil.dir/anvil.cc.o"
+  "CMakeFiles/anvil_anvil.dir/anvil.cc.o.d"
+  "libanvil_anvil.a"
+  "libanvil_anvil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_anvil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

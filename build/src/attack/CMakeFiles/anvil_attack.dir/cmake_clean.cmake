@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_attack.dir/hammer.cc.o"
+  "CMakeFiles/anvil_attack.dir/hammer.cc.o.d"
+  "CMakeFiles/anvil_attack.dir/memory_layout.cc.o"
+  "CMakeFiles/anvil_attack.dir/memory_layout.cc.o.d"
+  "libanvil_attack.a"
+  "libanvil_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_cache.dir/cache.cc.o"
+  "CMakeFiles/anvil_cache.dir/cache.cc.o.d"
+  "CMakeFiles/anvil_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/anvil_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/anvil_cache.dir/replacement.cc.o"
+  "CMakeFiles/anvil_cache.dir/replacement.cc.o.d"
+  "libanvil_cache.a"
+  "libanvil_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

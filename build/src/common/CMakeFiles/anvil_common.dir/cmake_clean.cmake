@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_common.dir/log.cc.o"
+  "CMakeFiles/anvil_common.dir/log.cc.o.d"
+  "CMakeFiles/anvil_common.dir/rng.cc.o"
+  "CMakeFiles/anvil_common.dir/rng.cc.o.d"
+  "CMakeFiles/anvil_common.dir/stats.cc.o"
+  "CMakeFiles/anvil_common.dir/stats.cc.o.d"
+  "CMakeFiles/anvil_common.dir/table.cc.o"
+  "CMakeFiles/anvil_common.dir/table.cc.o.d"
+  "libanvil_common.a"
+  "libanvil_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_dram.dir/address_map.cc.o"
+  "CMakeFiles/anvil_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/anvil_dram.dir/disturbance.cc.o"
+  "CMakeFiles/anvil_dram.dir/disturbance.cc.o.d"
+  "CMakeFiles/anvil_dram.dir/dram_system.cc.o"
+  "CMakeFiles/anvil_dram.dir/dram_system.cc.o.d"
+  "libanvil_dram.a"
+  "libanvil_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

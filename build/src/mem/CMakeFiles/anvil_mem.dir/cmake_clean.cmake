@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_mem.dir/memory_system.cc.o"
+  "CMakeFiles/anvil_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/anvil_mem.dir/virtual_memory.cc.o"
+  "CMakeFiles/anvil_mem.dir/virtual_memory.cc.o.d"
+  "libanvil_mem.a"
+  "libanvil_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_mitigations.dir/hardware.cc.o"
+  "CMakeFiles/anvil_mitigations.dir/hardware.cc.o.d"
+  "libanvil_mitigations.a"
+  "libanvil_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_pmu.dir/pmu.cc.o"
+  "CMakeFiles/anvil_pmu.dir/pmu.cc.o.d"
+  "libanvil_pmu.a"
+  "libanvil_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_sim.dir/event_queue.cc.o"
+  "CMakeFiles/anvil_sim.dir/event_queue.cc.o.d"
+  "libanvil_sim.a"
+  "libanvil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_workload.dir/profile.cc.o"
+  "CMakeFiles/anvil_workload.dir/profile.cc.o.d"
+  "CMakeFiles/anvil_workload.dir/workload.cc.o"
+  "CMakeFiles/anvil_workload.dir/workload.cc.o.d"
+  "libanvil_workload.a"
+  "libanvil_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anvil_test.dir/anvil_test.cc.o"
+  "CMakeFiles/anvil_test.dir/anvil_test.cc.o.d"
+  "anvil_test"
+  "anvil_test.pdb"
+  "anvil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anvil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

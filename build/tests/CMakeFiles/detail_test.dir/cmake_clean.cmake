@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detail_test.dir/detail_test.cc.o"
+  "CMakeFiles/detail_test.dir/detail_test.cc.o.d"
+  "detail_test"
+  "detail_test.pdb"
+  "detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

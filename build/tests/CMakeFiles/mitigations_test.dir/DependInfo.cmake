@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mitigations_test.cc" "tests/CMakeFiles/mitigations_test.dir/mitigations_test.cc.o" "gcc" "tests/CMakeFiles/mitigations_test.dir/mitigations_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anvil/CMakeFiles/anvil_anvil.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/anvil_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anvil_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigations/CMakeFiles/anvil_mitigations.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/anvil_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/anvil_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/anvil_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/anvil_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anvil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anvil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
