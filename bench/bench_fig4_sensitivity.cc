@@ -7,47 +7,61 @@
  * refresh period), and ANVIL-heavy (tc = ts = 2 ms, for attacks twice as
  * fast) — plus the **Section 4.5** detection scenarios on a future module
  * that flips at 110 K row accesses.
+ *
+ * All 24 cells (5 benchmarks x 4 detector settings, plus 4 future-attack
+ * scenarios) run as one parallel sweep (see runner/options.hh for the
+ * shared CLI); normalization is computed from the aggregated run times.
  */
 #include <iostream>
 
 #include "harness.hh"
+#include "runner/options.hh"
 
 using namespace anvil;
 using namespace anvil::bench;
 
 namespace {
 
-Tick
-run_fixed_work(const std::string &name,
-               const detector::AnvilConfig *config, std::uint64_t ops)
+runner::TrialResult
+fixed_work_trial(const std::string &name,
+                 const detector::AnvilConfig *config, std::uint64_t ops,
+                 const runner::TrialContext &ctx)
 {
-    mem::MemorySystem machine{mem::SystemConfig{}};
+    mem::SystemConfig machine_config;
+    machine_config.vm_seed = ctx.seed_for("vm");
+    mem::MemorySystem machine(machine_config);
     pmu::Pmu pmu(machine);
     std::unique_ptr<detector::Anvil> anvil;
     if (config != nullptr) {
         anvil = std::make_unique<detector::Anvil>(machine, pmu, *config);
         anvil->start();
     }
-    workload::Workload load(machine, workload::spec_profile(name));
+    workload::SpecProfile profile = workload::spec_profile(name);
+    profile.seed = ctx.seed_for("workload");
+    workload::Workload load(machine, profile);
     const Tick start = machine.now();
     load.run_ops(ops);
-    return machine.now() - start;
+
+    runner::TrialResult r;
+    r.set_value("run_ms", to_ms(machine.now() - start));
+    r.set_counter("ops", ops);
+    if (anvil)
+        r.set_anvil(anvil->stats());
+    r.set_dram(machine.dram().stats());
+    return r;
 }
 
 /** Section 4.5 scenario: does the config stop the future attack? */
-struct ScenarioResult {
-    bool flipped = false;
-    std::uint64_t detections = 0;
-};
-
-ScenarioResult
-future_attack(const detector::AnvilConfig &config, bool spread_out)
+runner::TrialResult
+future_attack_trial(const detector::AnvilConfig &config, bool spread_out,
+                    const runner::TrialContext &ctx)
 {
     // "a future scenario where bit flips can occur with 110K DRAM row
     // accesses (i.e., half the number of accesses that produced flips on
     // our experiments)"
     mem::SystemConfig machine_config;
     machine_config.dram.flip_threshold = 200000;  // 55 K per side
+    machine_config.vm_seed = ctx.seed_for("vm");
     Testbed bed(machine_config);
 
     detector::Anvil anvil(bed.machine, bed.pmu, config);
@@ -68,8 +82,18 @@ future_attack(const detector::AnvilConfig &config, bool spread_out)
             bed.machine.advance(ns(700));
         }
     }
-    return ScenarioResult{!bed.machine.dram().flips().empty(),
-                          anvil.stats().detections};
+
+    runner::TrialResult r;
+    r.set_counter("flips", bed.machine.dram().flips().size());
+    r.set_counter("detections", anvil.stats().detections);
+    r.set_anvil(anvil.stats());
+    return r;
+}
+
+std::string
+cell_name(const std::string &benchmark, const char *config)
+{
+    return benchmark + "/" + config;
 }
 
 }  // namespace
@@ -77,13 +101,72 @@ future_attack(const detector::AnvilConfig &config, bool spread_out)
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000000ULL;
+    runner::CliOptions cli = runner::CliOptions::parse(
+        argc, argv, "  positional: ops per benchmark (default 4000000)");
+    cli.sweep.name = "fig4_sensitivity";
+    const std::uint64_t ops = static_cast<std::uint64_t>(
+        cli.positional_double(0, 4000000.0));
+    const std::uint64_t trials = cli.trials_or(1);
 
     const detector::AnvilConfig baseline =
         detector::AnvilConfig::baseline();
     const detector::AnvilConfig light = detector::AnvilConfig::light();
     const detector::AnvilConfig heavy = detector::AnvilConfig::heavy();
+
+    const char *benchmarks[] = {"bzip2", "gcc", "gobmk", "libquantum",
+                                "perlbench"};
+    const struct {
+        const char *label;
+        const detector::AnvilConfig *config;  // nullptr = unprotected
+    } settings[] = {
+        {"none", nullptr},
+        {"baseline", &baseline},
+        {"light", &light},
+        {"heavy", &heavy},
+    };
+
+    runner::Sweep sweep(cli.sweep);
+    for (const char *name : benchmarks) {
+        for (const auto &s : settings) {
+            const std::string benchmark = name;
+            const detector::AnvilConfig *config = s.config;
+            sweep.add_scenario(
+                cell_name(benchmark, s.label), trials,
+                [benchmark, config, ops](const runner::TrialContext &ctx) {
+                    return fixed_work_trial(benchmark, config, ops, ctx);
+                });
+        }
+    }
+
+    struct Case {
+        const char *scenario;
+        const char *attack;
+        bool spread;
+        const detector::AnvilConfig *config;
+        const char *paper;
+    };
+    const Case cases[] = {
+        {"future/fast/heavy", "fast (full speed, flips in ~7 ms)", false,
+         &heavy, "caught by ANVIL-heavy"},
+        {"future/fast/baseline", "fast (full speed, flips in ~7 ms)",
+         false, &baseline, "needs smaller windows"},
+        {"future/spread/light", "spread out (just over 10K misses/6 ms)",
+         true, &light, "caught by ANVIL-light"},
+        {"future/spread/baseline",
+         "spread out (just over 10K misses/6 ms)", true, &baseline,
+         "evades the 20K threshold"},
+    };
+    for (const Case &c : cases) {
+        const detector::AnvilConfig *config = c.config;
+        const bool spread = c.spread;
+        sweep.add_scenario(
+            c.scenario, 1,
+            [config, spread](const runner::TrialContext &ctx) {
+                return future_attack_trial(*config, spread, ctx);
+            });
+    }
+
+    runner::ResultSink sink = sweep.run();
 
     TextTable fig4("Figure 4: Normalized execution time under "
                    "ANVIL-baseline / -light / -heavy (" +
@@ -91,16 +174,19 @@ main(int argc, char **argv)
     fig4.set_header({"Benchmark", "ANVIL-baseline", "ANVIL-light",
                      "ANVIL-heavy",
                      "Paper: heavy costs most (up to ~1.08)"});
-    for (const char *name :
-         {"bzip2", "gcc", "gobmk", "libquantum", "perlbench"}) {
-        const Tick base = run_fixed_work(name, nullptr, ops);
-        const auto norm = [&](const detector::AnvilConfig &config) {
-            return static_cast<double>(run_fixed_work(name, &config, ops)) /
-                   static_cast<double>(base);
+    for (const char *name : benchmarks) {
+        const double base =
+            sink.scenario(cell_name(name, "none")).value_mean("run_ms");
+        const auto norm = [&](const char *label) {
+            const double t =
+                sink.scenario(cell_name(name, label)).value_mean("run_ms");
+            const double n = base > 0.0 ? t / base : 0.0;
+            sink.set_derived(cell_name(name, label), "normalized", n);
+            return n;
         };
-        fig4.add_row({name, TextTable::fmt(norm(baseline), 4),
-                      TextTable::fmt(norm(light), 4),
-                      TextTable::fmt(norm(heavy), 4), ""});
+        fig4.add_row({name, TextTable::fmt(norm("baseline"), 4),
+                      TextTable::fmt(norm("light"), 4),
+                      TextTable::fmt(norm("heavy"), 4), ""});
     }
     fig4.print(std::cout);
 
@@ -108,28 +194,15 @@ main(int argc, char **argv)
                         "flips at 110K accesses)");
     scenarios.set_header({"Attack", "Config", "Bit flips", "Detections",
                           "Paper"});
-    struct Case {
-        const char *attack;
-        bool spread;
-        const detector::AnvilConfig *config;
-        const char *paper;
-    };
-    const Case cases[] = {
-        {"fast (full speed, flips in ~7 ms)", false, &heavy,
-         "caught by ANVIL-heavy"},
-        {"fast (full speed, flips in ~7 ms)", false, &baseline,
-         "needs smaller windows"},
-        {"spread out (just over 10K misses/6 ms)", true, &light,
-         "caught by ANVIL-light"},
-        {"spread out (just over 10K misses/6 ms)", true, &baseline,
-         "evades the 20K threshold"},
-    };
     for (const Case &c : cases) {
-        const ScenarioResult r = future_attack(*c.config, c.spread);
+        const runner::ScenarioAggregate &agg = sink.scenario(c.scenario);
+        const std::uint64_t flips = agg.counter_sum("flips");
         scenarios.add_row({c.attack, c.config->name,
-                           r.flipped ? "FLIPPED" : "0",
-                           TextTable::fmt_count(r.detections), c.paper});
+                           flips != 0 ? "FLIPPED" : "0",
+                           TextTable::fmt_count(
+                               agg.counter_sum("detections")),
+                           c.paper});
     }
     scenarios.print(std::cout);
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

@@ -3,6 +3,9 @@
  * Reproduces **Table 5** — "Rate of False Positive Refreshes for
  * ANVIL-Heavy and ANVIL-Light" on the Figure-4 benchmark subset.
  *
+ * The ten (benchmark, config) cells run as one parallel sweep (see
+ * runner/options.hh for the shared CLI).
+ *
  * Paper values (refreshes/sec, light / heavy): bzip2 1.61 / 1.09,
  * gcc 7.12 / 1.88, gobmk 0.28 / 0.84, libquantum 0.13 / 0.08,
  * perlbench 0.06 / 0.00. Both configurations show more false positives
@@ -11,6 +14,7 @@
 #include <iostream>
 
 #include "harness.hh"
+#include "runner/options.hh"
 
 using namespace anvil;
 using namespace anvil::bench;
@@ -22,22 +26,41 @@ namespace {
  * bench_table4_false_positives.cc): thrash-phase arrivals are boosted to
  * an observable rate and the measurement divided by the boost.
  */
-double
-false_positive_rate(const std::string &name,
-                    const detector::AnvilConfig &config, Tick duration)
+runner::TrialResult
+false_positive_trial(const std::string &name,
+                     const detector::AnvilConfig &config, Tick duration,
+                     const runner::TrialContext &ctx)
 {
-    mem::MemorySystem machine{mem::SystemConfig{}};
+    mem::SystemConfig machine_config;
+    machine_config.vm_seed = ctx.seed_for("vm");
+    mem::MemorySystem machine(machine_config);
     pmu::Pmu pmu(machine);
     detector::Anvil anvil(machine, pmu, config);
     anvil.set_ground_truth([] { return false; });
     anvil.start();
+
     workload::SpecProfile profile = workload::spec_profile(name);
+    profile.seed = ctx.seed_for("workload");
     const double boost = boost_thrash_rate(profile);
     workload::Workload load(machine, profile);
     const Tick start = machine.now();
     load.run_for(duration);
-    return static_cast<double>(anvil.stats().false_positive_refreshes) /
-           to_sec(machine.now() - start) / boost;
+
+    runner::TrialResult r;
+    r.set_value("fp_per_sec",
+                static_cast<double>(
+                    anvil.stats().false_positive_refreshes) /
+                    to_sec(machine.now() - start) / boost);
+    r.set_counter("false_positive_refreshes",
+                  anvil.stats().false_positive_refreshes);
+    r.set_anvil(anvil.stats());
+    return r;
+}
+
+std::string
+cell_name(const char *benchmark, const char *config)
+{
+    return std::string(benchmark) + "/" + config;
 }
 
 }  // namespace
@@ -45,7 +68,12 @@ false_positive_rate(const std::string &name,
 int
 main(int argc, char **argv)
 {
-    const double run_sec = argc > 1 ? std::atof(argv[1]) : 3.0;
+    runner::CliOptions cli = runner::CliOptions::parse(
+        argc, argv,
+        "  positional: simulated seconds per cell (default 3.0)");
+    cli.sweep.name = "table5_fp_sensitivity";
+    const double run_sec = cli.positional_double(0, 3.0);
+    const std::uint64_t trials = cli.trials_or(1);
 
     struct Row {
         const char *name;
@@ -57,6 +85,28 @@ main(int argc, char **argv)
         {"gobmk", 0.28, 0.84},      {"libquantum", 0.13, 0.08},
         {"perlbench", 0.06, 0.00},
     };
+    const struct {
+        const char *label;
+        detector::AnvilConfig config;
+    } configs[] = {
+        {"light", detector::AnvilConfig::light()},
+        {"heavy", detector::AnvilConfig::heavy()},
+    };
+
+    runner::Sweep sweep(cli.sweep);
+    for (const Row &row : rows) {
+        for (const auto &c : configs) {
+            const std::string name = row.name;
+            const detector::AnvilConfig config = c.config;
+            sweep.add_scenario(
+                cell_name(row.name, c.label), trials,
+                [name, config, run_sec](const runner::TrialContext &ctx) {
+                    return false_positive_trial(name, config,
+                                                seconds(run_sec), ctx);
+                });
+        }
+    }
+    runner::ResultSink sink = sweep.run();
 
     TextTable table5("Table 5: False positive refreshes/sec under "
                      "ANVIL-light and ANVIL-heavy (" +
@@ -64,15 +114,17 @@ main(int argc, char **argv)
     table5.set_header({"Benchmark", "ANVIL-light", "ANVIL-heavy",
                        "Paper (light / heavy)"});
     for (const Row &row : rows) {
-        const double light = false_positive_rate(
-            row.name, detector::AnvilConfig::light(), seconds(run_sec));
-        const double heavy = false_positive_rate(
-            row.name, detector::AnvilConfig::heavy(), seconds(run_sec));
+        const double light =
+            sink.scenario(cell_name(row.name, "light"))
+                .value_mean("fp_per_sec");
+        const double heavy =
+            sink.scenario(cell_name(row.name, "heavy"))
+                .value_mean("fp_per_sec");
         table5.add_row({row.name, TextTable::fmt(light, 2),
                         TextTable::fmt(heavy, 2),
                         TextTable::fmt(row.paper_light, 2) + " / " +
                             TextTable::fmt(row.paper_heavy, 2)});
     }
     table5.print(std::cout);
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

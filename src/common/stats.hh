@@ -35,6 +35,16 @@ class RunningStat
     void add(double x);
     void reset();
 
+    /**
+     * Folds another RunningStat in, as if its samples had been added to
+     * this one (parallel Welford combination, Chan et al.). Used to
+     * aggregate per-trial statistics across an experiment sweep; the
+     * result is independent of how samples were partitioned, up to
+     * floating-point rounding, and exactly deterministic for a fixed
+     * merge order.
+     */
+    void merge(const RunningStat &other);
+
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ > 0 ? mean_ : 0.0; }
     double min() const;

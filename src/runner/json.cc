@@ -1,0 +1,170 @@
+#include "runner/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace anvil::runner {
+
+void
+JsonWriter::newline_indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepare_slot()
+{
+    if (after_key_) {
+        // Value follows "key": on the same line.
+        after_key_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    if (!first_in_frame_)
+        os_ << ',';
+    first_in_frame_ = false;
+    newline_indent();
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    prepare_slot();
+    os_ << '{';
+    stack_.push_back(Frame::kObject);
+    first_in_frame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    stack_.pop_back();
+    if (!first_in_frame_)
+        newline_indent();
+    os_ << '}';
+    first_in_frame_ = false;
+    if (stack_.empty())
+        os_ << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    prepare_slot();
+    os_ << '[';
+    stack_.push_back(Frame::kArray);
+    first_in_frame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    stack_.pop_back();
+    if (!first_in_frame_)
+        newline_indent();
+    os_ << ']';
+    first_in_frame_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    prepare_slot();
+    os_ << '"' << escape(k) << "\": ";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    prepare_slot();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepare_slot();
+    os_ << format_double(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepare_slot();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepare_slot();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepare_slot();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::format_double(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // %.17g round-trips every finite double and is locale-independent for
+    // the characters it can emit; integral values print without a wasteful
+    // mantissa.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace anvil::runner

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable experiment output.
+ *
+ * The writer produces pretty-printed JSON with insertion-ordered object
+ * keys and a fixed, locale-independent number format, so that two runs
+ * computing the same values emit byte-identical documents — the property
+ * the parallel-vs-serial regression tests assert on.
+ */
+#ifndef ANVIL_RUNNER_JSON_HH
+#define ANVIL_RUNNER_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anvil::runner {
+
+/**
+ * Streaming JSON emitter.
+ *
+ * Usage is push-based: begin_object()/end_object(), key(), value().
+ * The writer tracks nesting and inserts commas, newlines, and two-space
+ * indentation itself; callers only describe structure.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Emits an object key; the next call must produce its value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool v);
+
+    /** Shorthand for key(k) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /**
+     * Formats a double exactly as value(double) does ("%.17g", with
+     * non-finite values mapped to null). Exposed so tests and ad-hoc
+     * emitters share the canonical format.
+     */
+    static std::string format_double(double v);
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Frame : std::uint8_t { kObject, kArray };
+
+    /** Emits separator + layout before a value or key. */
+    void prepare_slot();
+    void newline_indent();
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool first_in_frame_ = true;
+    bool after_key_ = false;
+};
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_JSON_HH

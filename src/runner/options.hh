@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared command-line interface of the experiment-runner benchmarks.
+ *
+ * Every migrated bench binary accepts the same sweep-control flags
+ * (documented in EXPERIMENTS.md):
+ *
+ *   --jobs N           worker threads (default: one per hardware thread)
+ *   --master-seed N    seed root for all trials (default 0x5eed)
+ *   --trials N         override each scenario's default trial count
+ *   --json-out PATH    write the aggregated JSON report (PATH or "-")
+ *   --replay-trial N   run only global trial N, serially (debugging)
+ *   --help             usage
+ *
+ * Unrecognized non-flag arguments are passed through as positionals so
+ * benches keep their historical argument (e.g. seconds per cell).
+ */
+#ifndef ANVIL_RUNNER_OPTIONS_HH
+#define ANVIL_RUNNER_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace anvil::runner {
+
+/** Parsed command line of a runner-based bench binary. */
+struct CliOptions {
+    SweepOptions sweep;
+    /// --trials override; 0 keeps each bench's default.
+    std::uint64_t trials = 0;
+    /// Non-flag arguments, in order.
+    std::vector<std::string> positional;
+
+    /** Trial count: the --trials override, else @p bench_default. */
+    std::uint64_t
+    trials_or(std::uint64_t bench_default) const
+    {
+        return trials != 0 ? trials : bench_default;
+    }
+
+    /** Positional @p index parsed as double, else @p fallback. */
+    double positional_double(std::size_t index, double fallback) const;
+
+    /**
+     * Parses argv. On --help prints usage (with @p extra_usage appended)
+     * and exits 0; on a malformed flag prints usage and exits 2.
+     */
+    static CliOptions parse(int argc, char **argv,
+                            const std::string &extra_usage = "");
+};
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_OPTIONS_HH

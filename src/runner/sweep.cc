@@ -1,0 +1,154 @@
+#include "runner/sweep.hh"
+
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "runner/thread_pool.hh"
+
+namespace anvil::runner {
+namespace {
+
+TrialResult
+run_one(const TrialSpec &spec, const TrialFn &fn)
+{
+    try {
+        return fn(TrialContext(spec));
+    } catch (const std::exception &e) {
+        TrialResult result;
+        result.set_error(e.what());
+        return result;
+    } catch (...) {
+        TrialResult result;
+        result.set_error("unknown exception");
+        return result;
+    }
+}
+
+}  // namespace
+
+Sweep::Sweep(SweepOptions options) : options_(std::move(options)) {}
+
+void
+Sweep::add_scenario(std::string scenario, std::uint64_t trials, TrialFn fn)
+{
+    scenarios_.push_back(
+        Scenario{std::move(scenario), trials, std::move(fn)});
+}
+
+std::vector<Sweep::Pending>
+Sweep::plan() const
+{
+    std::vector<Pending> pending;
+    std::uint64_t global = 0;
+    for (const Scenario &s : scenarios_) {
+        for (std::uint64_t t = 0; t < s.trials; ++t, ++global) {
+            TrialSpec spec;
+            spec.scenario = s.name;
+            spec.trial = t;
+            spec.seed = trial_seed(options_.master_seed, s.name, t);
+            spec.global_index = global;
+            pending.push_back(Pending{std::move(spec), &s.fn});
+        }
+    }
+    return pending;
+}
+
+ResultSink
+Sweep::run()
+{
+    std::vector<Pending> pending = plan();
+
+    if (options_.replay_trial) {
+        const std::uint64_t want = *options_.replay_trial;
+        const std::size_t total = pending.size();
+        std::vector<Pending> one;
+        for (Pending &p : pending) {
+            if (p.spec.global_index == want)
+                one.push_back(std::move(p));
+        }
+        pending = std::move(one);
+        if (pending.empty()) {
+            std::cerr << "[runner] " << options_.name << ": --replay-trial "
+                      << want << " is out of range (sweep has " << total
+                      << " trial(s), indices 0.." << (total ? total - 1 : 0)
+                      << "); nothing to run\n";
+        }
+    }
+
+    const unsigned jobs =
+        options_.replay_trial
+            ? 1u
+            : (options_.jobs != 0 ? options_.jobs
+                                  : ThreadPool::default_threads());
+    jobs_used_ = jobs;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<TrialResult> results(pending.size());
+    if (jobs <= 1 || pending.size() <= 1) {
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            results[i] = run_one(pending[i].spec, *pending[i].fn);
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            // Each task writes only its own pre-allocated slot;
+            // wait_idle() publishes all slots to this thread.
+            pool.submit([this, &pending, &results, i] {
+                results[i] = run_one(pending[i].spec, *pending[i].fn);
+            });
+        }
+        pool.wait_idle();
+    }
+    wall_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+
+    // Aggregate strictly in plan order: output is independent of the
+    // completion order above.
+    ResultSink sink;
+    sink.set_meta(options_.name, options_.master_seed);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        sink.add(pending[i].spec, results[i]);
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (results[i].failed()) {
+            std::cerr << "[runner] " << options_.name << " trial #"
+                      << pending[i].spec.global_index << " ("
+                      << pending[i].spec.scenario << "/"
+                      << pending[i].spec.trial
+                      << ") failed: " << results[i].error()
+                      << " (replay with --jobs 1 --replay-trial "
+                      << pending[i].spec.global_index << ")\n";
+        }
+    }
+    std::cerr << "[runner] " << options_.name << ": " << pending.size()
+              << " trial(s) on " << jobs << " job(s) in " << wall_seconds_
+              << " s\n";
+    return sink;
+}
+
+bool
+write_json_output(const ResultSink &sink, const SweepOptions &options)
+{
+    if (options.json_out.empty())
+        return true;
+    if (options.json_out == "-") {
+        sink.write_json(std::cout);
+        return true;
+    }
+    std::ofstream out(options.json_out);
+    if (!out) {
+        std::cerr << "[runner] cannot open " << options.json_out
+                  << " for writing\n";
+        return false;
+    }
+    sink.write_json(out);
+    if (!out) {
+        std::cerr << "[runner] error writing " << options.json_out << "\n";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace anvil::runner

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The parallel experiment-sweep engine.
+ *
+ * A Sweep is a list of scenarios, each contributing N independent trials.
+ * run() fans the trials out over a fixed-size thread pool (each trial
+ * builds its own simulated machine, so there is no shared mutable state),
+ * buffers every result in its pre-assigned slot, and then feeds the sink
+ * in trial order — making the aggregate output invariant under the
+ * number of worker threads and their scheduling.
+ *
+ * Replay: every trial's seed is a pure function of (master seed, scenario,
+ * trial index), so `--replay-trial N` re-runs exactly one trial of the
+ * sweep serially — the debugging workflow for anything a parallel run
+ * surfaces.
+ */
+#ifndef ANVIL_RUNNER_SWEEP_HH
+#define ANVIL_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.hh"
+#include "runner/trial.hh"
+
+namespace anvil::runner {
+
+/** How a sweep executes (not what it computes). */
+struct SweepOptions {
+    std::string name = "sweep";
+    /// Worker threads; 0 means one per hardware thread.
+    unsigned jobs = 0;
+    /// Root of the per-trial seed derivation chain.
+    std::uint64_t master_seed = 0x5eedULL;
+    /// When set, run only this global trial index, serially.
+    std::optional<std::uint64_t> replay_trial;
+    /// JSON report destination: empty = none, "-" = stdout, else a path.
+    std::string json_out;
+};
+
+/** Computes one trial's TrialResult. Must be thread-safe & self-contained. */
+using TrialFn = std::function<TrialResult(const TrialContext &)>;
+
+/** A set of scenarios executed as one (possibly parallel) batch. */
+class Sweep
+{
+  public:
+    explicit Sweep(SweepOptions options);
+
+    /**
+     * Registers @p trials trials of @p scenario. Trials are seeded
+     * individually; @p fn must not touch anything outside its context.
+     */
+    void add_scenario(std::string scenario, std::uint64_t trials,
+                      TrialFn fn);
+
+    /**
+     * Runs every registered trial and returns the aggregated results.
+     * Exceptions escaping a trial body are captured as that trial's
+     * error, never propagated (one bad trial must not sink a sweep).
+     */
+    ResultSink run();
+
+    /** Wall-clock of the last run(), in seconds. */
+    double wall_seconds() const { return wall_seconds_; }
+
+    /** Worker threads the last run() actually used. */
+    unsigned jobs_used() const { return jobs_used_; }
+
+    const SweepOptions &options() const { return options_; }
+
+  private:
+    struct Pending {
+        TrialSpec spec;
+        const TrialFn *fn;
+    };
+
+    /** All trials in deterministic order, seeds assigned. */
+    std::vector<Pending> plan() const;
+
+    struct Scenario {
+        std::string name;
+        std::uint64_t trials;
+        TrialFn fn;
+    };
+
+    SweepOptions options_;
+    std::vector<Scenario> scenarios_;
+    double wall_seconds_ = 0.0;
+    unsigned jobs_used_ = 0;
+};
+
+/**
+ * Writes the sweep's JSON report according to @p options.json_out.
+ * @return false only if a report was requested and could not be written;
+ *         callers should propagate that as a nonzero exit code.
+ */
+bool write_json_output(const ResultSink &sink, const SweepOptions &options);
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_SWEEP_HH

@@ -1,0 +1,71 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace anvil::runner {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::worker_loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_available_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stopping_ && empty queue: drain complete.
+            return;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idle_.notify_all();
+    }
+}
+
+unsigned
+ThreadPool::default_threads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace anvil::runner

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size worker pool for fanning out independent trials.
+ *
+ * Deliberately minimal: submit() enqueues closures, wait_idle() blocks
+ * until every submitted closure has finished. Result ordering is the
+ * caller's concern (the Sweep writes each trial's result into its own
+ * pre-allocated slot, then aggregates in trial order, so completion order
+ * never influences output).
+ */
+#ifndef ANVIL_RUNNER_THREAD_POOL_HH
+#define ANVIL_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anvil::runner {
+
+/** Fixed set of worker threads draining one FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads workers. @pre threads >= 1 */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueues @p task. Tasks must not throw — wrap fallible work in its
+     * own try/catch (the Sweep records failures in the trial result).
+     */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and every worker is idle. */
+    void wait_idle();
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Reasonable default worker count for this host (hardware
+     * concurrency, minimum 1).
+     */
+    static unsigned default_threads();
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_THREAD_POOL_HH

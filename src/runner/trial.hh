@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The unit of parallel experimentation: one fully-isolated trial.
+ *
+ * A trial owns its entire simulated machine (MemorySystem + Anvil +
+ * workloads), so trials share no mutable state and a sweep of them is
+ * embarrassingly parallel. Determinism rests on the seed chain: every
+ * random stream a trial uses is derived from (master seed, scenario name,
+ * trial index) — never from global state, wall-clock time, or thread
+ * identity — so any trial can be replayed serially, and a parallel sweep
+ * aggregates to bit-identical results as a serial one.
+ */
+#ifndef ANVIL_RUNNER_TRIAL_HH
+#define ANVIL_RUNNER_TRIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "anvil/anvil.hh"
+#include "dram/dram_system.hh"
+
+namespace anvil::runner {
+
+/** Identity of one trial within a sweep. */
+struct TrialSpec {
+    std::string scenario;    ///< row label, e.g. "CLFLUSH (Heavy Load)"
+    std::uint64_t trial = 0; ///< index within the scenario
+    std::uint64_t seed = 0;  ///< derived: trial_seed(master, scenario, trial)
+    std::uint64_t global_index = 0;  ///< position in the whole sweep
+};
+
+/**
+ * Derives the seed of trial @p trial of @p scenario from @p master_seed.
+ * Stable across runs, platforms, and thread schedules.
+ */
+std::uint64_t trial_seed(std::uint64_t master_seed,
+                         std::string_view scenario, std::uint64_t trial);
+
+/**
+ * Derives an independent named random stream from a trial seed, so one
+ * trial can seed its VM layout, its workload, and its phase jitter from
+ * decorrelated values.
+ */
+std::uint64_t sub_seed(std::uint64_t seed, std::string_view stream);
+
+/** Everything a trial body may consult. Cheap to copy. */
+class TrialContext
+{
+  public:
+    explicit TrialContext(TrialSpec spec) : spec_(std::move(spec)) {}
+
+    const TrialSpec &spec() const { return spec_; }
+    std::uint64_t seed() const { return spec_.seed; }
+
+    /** Named decorrelated stream seed (see sub_seed). */
+    std::uint64_t
+    seed_for(std::string_view stream) const
+    {
+        return sub_seed(spec_.seed, stream);
+    }
+
+  private:
+    TrialSpec spec_;
+};
+
+/**
+ * The measurements one trial produced: insertion-ordered named scalars
+ * plus (optionally) the standard detector/DRAM stat blocks. Values are
+ * per-trial observations aggregated into count/mean/min/max/stddev;
+ * counters are event totals aggregated by summation.
+ */
+class TrialResult
+{
+  public:
+    /** Records a per-trial observation (aggregated as a distribution). */
+    void
+    set_value(std::string name, double v)
+    {
+        values_.emplace_back(std::move(name), v);
+    }
+
+    /** Records an event total (aggregated by summation). */
+    void
+    set_counter(std::string name, std::uint64_t v)
+    {
+        counters_.emplace_back(std::move(name), v);
+    }
+
+    /** Attaches the trial's detector statistics block. */
+    void
+    set_anvil(const detector::AnvilStats &stats)
+    {
+        anvil_ = stats;
+        has_anvil_ = true;
+    }
+
+    /** Attaches the trial's DRAM statistics block. */
+    void
+    set_dram(const dram::DramSystem::Stats &stats)
+    {
+        dram_ = stats;
+        has_dram_ = true;
+    }
+
+    /** Marks the trial failed; failed trials aggregate only as errors. */
+    void set_error(std::string what) { error_ = std::move(what); }
+
+    const std::vector<std::pair<std::string, double>> &
+    values() const
+    {
+        return values_;
+    }
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    counters() const
+    {
+        return counters_;
+    }
+    bool has_anvil() const { return has_anvil_; }
+    const detector::AnvilStats &anvil() const { return anvil_; }
+    bool has_dram() const { return has_dram_; }
+    const dram::DramSystem::Stats &dram() const { return dram_; }
+    bool failed() const { return !error_.empty(); }
+    const std::string &error() const { return error_; }
+
+  private:
+    std::vector<std::pair<std::string, double>> values_;
+    std::vector<std::pair<std::string, std::uint64_t>> counters_;
+    detector::AnvilStats anvil_;
+    dram::DramSystem::Stats dram_;
+    bool has_anvil_ = false;
+    bool has_dram_ = false;
+    std::string error_;
+};
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_TRIAL_HH

@@ -120,6 +120,43 @@ TEST(RunningStat, EmptyIsZero)
     EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStat, MergeMatchesSequentialAdds)
+{
+    // Partitioned accumulation + merge must agree with adding every
+    // sample to one stat (the invariant the sweep aggregator relies on).
+    RunningStat whole;
+    RunningStat left;
+    RunningStat right;
+    Rng rng(123);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.next_gaussian() * 3.0 + 1.0;
+        whole.add(x);
+        (i < 200 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.sum(), whole.sum(), 1e-9);
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat a;
+    RunningStat b;
+    b.add(2.0);
+    b.add(4.0);
+    a.merge(b);  // empty += populated
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    RunningStat empty;
+    a.merge(empty);  // populated += empty is a no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
 TEST(SampleStat, PercentilesInterpolate)
 {
     SampleStat s;

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Determinism regression net for the simulator.
+ *
+ * Two back-to-back serial runs of the double-sided attack + ANVIL
+ * scenario must produce identical Detection sequences and AnvilStats.
+ * This guards the contracts parallel sweeps rely on: the EventQueue's
+ * FIFO tie-break among equal deadlines (src/sim/event_queue.hh), the
+ * explicit seeding of every random stream, and the absence of any
+ * global mutable state shared between simulated machines.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "anvil/anvil.hh"
+#include "attack/hammer.hh"
+#include "attack/memory_layout.hh"
+#include "common/units.hh"
+#include "mem/memory_system.hh"
+#include "pmu/pmu.hh"
+#include "workload/workload.hh"
+
+namespace anvil {
+namespace {
+
+/** Everything observable from one scenario run. */
+struct RunRecord {
+    std::vector<detector::Detection> detections;
+    detector::AnvilStats stats;
+    dram::DramSystem::Stats dram;
+    std::uint64_t flips = 0;
+    Tick end_time = 0;
+};
+
+/**
+ * The Table-3 double-sided CLFLUSH attack under ANVIL-baseline with one
+ * background workload, entirely determined by @p seed.
+ */
+RunRecord
+run_scenario(std::uint64_t seed)
+{
+    mem::SystemConfig config;
+    config.vm_seed = seed;
+    mem::MemorySystem machine(config);
+    pmu::Pmu pmu(machine);
+
+    mem::AddressSpace &attacker = machine.create_process();
+    const std::uint64_t buffer_bytes = 16ULL << 20;
+    const Addr buffer = attacker.mmap(buffer_bytes);
+    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
+                                machine.hierarchy());
+    layout.scan(buffer, buffer_bytes);
+    const auto targets = layout.find_double_sided_targets(4);
+    if (targets.empty())
+        throw std::runtime_error("no double-sided target");
+
+    workload::SpecProfile profile = workload::spec_profile("mcf");
+    profile.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    workload::Workload background(machine, profile);
+
+    detector::Anvil anvil(machine, pmu,
+                          detector::AnvilConfig::baseline());
+    anvil.set_ground_truth([] { return true; });
+    anvil.start();
+
+    machine.advance(ms(1));
+    attack::ClflushDoubleSided hammer(machine, attacker.pid(),
+                                      targets.front());
+    workload::Runner runner(machine);
+    runner.add([&] { hammer.step(); });
+    runner.add([&] { background.step(); });
+    runner.run_for(ms(32));
+
+    RunRecord record;
+    record.detections = anvil.detections();
+    record.stats = anvil.stats();
+    record.dram = machine.dram().stats();
+    record.flips = machine.dram().flips().size();
+    record.end_time = machine.now();
+    return record;
+}
+
+void
+expect_identical(const RunRecord &a, const RunRecord &b)
+{
+    // Detection sequences: same length, and every field of every
+    // detection (including the aggressors' identities and order) equal.
+    ASSERT_EQ(a.detections.size(), b.detections.size());
+    for (std::size_t i = 0; i < a.detections.size(); ++i) {
+        const detector::Detection &da = a.detections[i];
+        const detector::Detection &db = b.detections[i];
+        EXPECT_EQ(da.time, db.time) << "detection " << i;
+        EXPECT_EQ(da.refreshes_performed, db.refreshes_performed)
+            << "detection " << i;
+        EXPECT_EQ(da.ground_truth_attack, db.ground_truth_attack)
+            << "detection " << i;
+        ASSERT_EQ(da.aggressors.size(), db.aggressors.size())
+            << "detection " << i;
+        for (std::size_t j = 0; j < da.aggressors.size(); ++j) {
+            EXPECT_EQ(da.aggressors[j].flat_bank,
+                      db.aggressors[j].flat_bank);
+            EXPECT_EQ(da.aggressors[j].row, db.aggressors[j].row);
+            EXPECT_EQ(da.aggressors[j].samples,
+                      db.aggressors[j].samples);
+            EXPECT_DOUBLE_EQ(da.aggressors[j].estimated_accesses,
+                             db.aggressors[j].estimated_accesses);
+        }
+    }
+
+    // AnvilStats, field by field.
+    EXPECT_EQ(a.stats.stage1_windows, b.stats.stage1_windows);
+    EXPECT_EQ(a.stats.stage1_triggers, b.stats.stage1_triggers);
+    EXPECT_EQ(a.stats.stage2_windows, b.stats.stage2_windows);
+    EXPECT_EQ(a.stats.detections, b.stats.detections);
+    EXPECT_EQ(a.stats.selective_refreshes, b.stats.selective_refreshes);
+    EXPECT_EQ(a.stats.false_positive_detections,
+              b.stats.false_positive_detections);
+    EXPECT_EQ(a.stats.false_positive_refreshes,
+              b.stats.false_positive_refreshes);
+    EXPECT_EQ(a.stats.overhead, b.stats.overhead);
+
+    // The machine as a whole advanced identically.
+    EXPECT_EQ(a.dram.accesses, b.dram.accesses);
+    EXPECT_EQ(a.dram.row_hits, b.dram.row_hits);
+    EXPECT_EQ(a.dram.row_misses, b.dram.row_misses);
+    EXPECT_EQ(a.dram.selective_refreshes, b.dram.selective_refreshes);
+    EXPECT_EQ(a.dram.refresh_stall, b.dram.refresh_stall);
+    EXPECT_EQ(a.flips, b.flips);
+    EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(Determinism, BackToBackRunsAreIdentical)
+{
+    const RunRecord first = run_scenario(0x5eed);
+    const RunRecord second = run_scenario(0x5eed);
+    // The scenario must be non-trivial for the comparison to mean
+    // anything: ANVIL detected the attack at least once.
+    ASSERT_GE(first.stats.detections, 1u);
+    expect_identical(first, second);
+}
+
+TEST(Determinism, DifferentSeedsDiverge)
+{
+    // Conversely, the seed must actually steer the run; otherwise the
+    // test above would pass vacuously on a seed-blind simulator.
+    const RunRecord a = run_scenario(0x5eed);
+    const RunRecord b = run_scenario(0xbeef);
+    EXPECT_NE(a.dram.accesses, b.dram.accesses);
+}
+
+}  // namespace
+}  // namespace anvil

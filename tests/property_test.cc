@@ -49,7 +49,7 @@ TEST_P(AddressMapGeometry, EncodeDecodeRoundTrip)
 
     EXPECT_EQ(map.capacity(), config.capacity_bytes());
     Rng rng(77);
-    for (int i = 0; i < 2000; ++i) {
+    for (int i = 0; i < 10000; ++i) {
         const Addr pa = rng.next_below(map.capacity());
         const dram::DramCoord coord = map.decode(pa);
         EXPECT_EQ(map.encode(coord), pa);
@@ -69,10 +69,13 @@ TEST_P(AddressMapGeometry, EncodeDecodeRoundTrip)
 INSTANTIATE_TEST_SUITE_P(
     Geometries, AddressMapGeometry,
     ::testing::Values(Geometry{1, 1, 8, 1024, 8192},
-                      Geometry{1, 2, 8, 32768, 8192},
+                      Geometry{1, 2, 8, 32768, 8192},  // default module
                       Geometry{2, 2, 8, 16384, 8192},
                       Geometry{1, 1, 16, 4096, 4096},
-                      Geometry{2, 1, 4, 2048, 16384}),
+                      Geometry{2, 1, 4, 2048, 16384},
+                      Geometry{4, 2, 8, 65536, 8192},   // server-class
+                      Geometry{1, 1, 1, 64, 1024},      // minimal corner
+                      Geometry{2, 4, 16, 8192, 2048}),  // many banks
     [](const ::testing::TestParamInfo<Geometry> &info) {
         const Geometry &g = info.param;
         return "c" + std::to_string(g.channels) + "r" +
