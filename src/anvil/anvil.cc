@@ -176,7 +176,7 @@ Anvil::begin_stage2()
     sc.sample_loads = load_fraction >= config_.store_only_fraction;
     sc.sample_stores = load_fraction <= config_.load_only_fraction;
 
-    pmu_.drain_samples();  // discard anything stale
+    pmu_.discard_samples();  // discard anything stale
     pmu_.enable_sampling(sc);
     misses_at_stage_start_ = pmu_.counter(pmu::Event::kLlcMisses).value();
 
@@ -190,7 +190,8 @@ void
 Anvil::on_stage2_end()
 {
     pmu_.disable_sampling();
-    const std::vector<pmu::PebsRecord> samples = pmu_.drain_samples();
+    pmu_.drain_samples(sample_buf_);
+    const std::vector<pmu::PebsRecord> &samples = sample_buf_;
     const std::uint64_t misses_in_ts =
         pmu_.counter(pmu::Event::kLlcMisses).value() -
         misses_at_stage_start_;

@@ -142,6 +142,11 @@ class Anvil
     std::uint64_t misses_at_stage1_start_ = 0;
     std::uint64_t load_misses_at_stage_start_ = 0;
 
+    /// Scratch buffer the PMU's PEBS records are swapped into at the end
+    /// of each Stage-2 window; reused across windows so the steady state
+    /// allocates nothing.
+    std::vector<pmu::PebsRecord> sample_buf_;
+
     std::function<bool()> ground_truth_;
     AnvilStats stats_;
     std::vector<Detection> detections_;

@@ -1,19 +1,24 @@
 #include "cache/cache.hh"
 
+#include <bit>
 #include <cassert>
+
+#include "common/bits.hh"
 
 namespace anvil::cache {
 
 Cache::Cache(std::string name, std::uint32_t sets, std::uint32_t ways,
              ReplPolicy policy, Rng *rng)
-    : name_(std::move(name)), sets_(sets), ways_(ways)
+    : name_(std::move(name)),
+      sets_(sets),
+      ways_(ways),
+      full_mask_(low_mask(ways)),
+      repl_(policy, sets, ways, rng)
 {
-    assert(sets > 0 && (sets & (sets - 1)) == 0 && "sets must be 2^k");
-    assert(ways > 0);
-    ways_store_.resize(static_cast<std::size_t>(sets_) * ways_);
-    policies_.reserve(sets_);
-    for (std::uint32_t s = 0; s < sets_; ++s)
-        policies_.push_back(make_set_policy(policy, ways_, rng));
+    assert(is_pow2(sets) && "sets must be 2^k");
+    assert(ways > 0 && ways <= 64);
+    tags_.resize(static_cast<std::size_t>(sets_) * ways_, 0);
+    valid_bits_.resize(sets_, 0);
 }
 
 std::uint32_t
@@ -25,11 +30,22 @@ Cache::set_index(Addr pa) const
 std::optional<std::uint32_t>
 Cache::find(std::uint32_t set, Addr line) const
 {
-    const std::size_t base = static_cast<std::size_t>(set) * ways_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        const Way &way = ways_store_[base + w];
-        if (way.valid && way.line == line)
+    const Addr *tags = &tags_[static_cast<std::size_t>(set) * ways_];
+    std::uint64_t m = valid_bits_[set];
+    if (m == full_mask_) {
+        // Full set (the steady state): a plain counted scan over the
+        // packed tags, with no validity filtering in the loop.
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (tags[w] == line)
+                return w;
+        }
+        return std::nullopt;
+    }
+    while (m != 0) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+        if (tags[w] == line)
             return w;
+        m &= m - 1;
     }
     return std::nullopt;
 }
@@ -42,7 +58,7 @@ Cache::access(Addr pa)
     ++stats_.accesses;
     if (auto way = find(set, line)) {
         ++stats_.hits;
-        policies_[set]->on_access(*way);
+        repl_.on_access(set, *way);
         return true;
     }
     ++stats_.misses;
@@ -65,23 +81,20 @@ Cache::fill(Addr pa)
 
     ++stats_.fills;
 
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = ways_store_[base + w];
-        if (!way.valid) {
-            way.valid = true;
-            way.line = line;
-            policies_[set]->on_fill(w);
-            return std::nullopt;
-        }
+    // Prefer an invalid way (lowest index first, like a scan would).
+    const std::uint64_t valid = valid_bits_[set];
+    if (valid != full_mask_) {
+        const auto w = static_cast<std::uint32_t>(std::countr_one(valid));
+        tags_[base + w] = line;
+        valid_bits_[set] = valid | (std::uint64_t{1} << w);
+        repl_.on_fill(set, w);
+        return std::nullopt;
     }
 
-    const std::uint32_t w = policies_[set]->victim();
+    const std::uint32_t w = repl_.victim_and_fill(set);
     assert(w < ways_);
-    Way &way = ways_store_[base + w];
-    const Addr evicted = way.line;
-    way.line = line;
-    policies_[set]->on_fill(w);
+    const Addr evicted = tags_[base + w];
+    tags_[base + w] = line;
     ++stats_.evictions;
     return evicted;
 }
@@ -92,9 +105,8 @@ Cache::invalidate(Addr pa)
     const Addr line = line_of(pa);
     const std::uint32_t set = set_index(pa);
     if (auto w = find(set, line)) {
-        ways_store_[static_cast<std::size_t>(set) * ways_ + *w].valid =
-            false;
-        policies_[set]->on_invalidate(*w);
+        valid_bits_[set] &= ~(std::uint64_t{1} << *w);
+        repl_.on_invalidate(set, *w);
         ++stats_.invalidations;
         return true;
     }
@@ -106,10 +118,11 @@ Cache::lines_in_set(std::uint32_t set) const
 {
     std::vector<Addr> lines;
     const std::size_t base = static_cast<std::size_t>(set) * ways_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        const Way &way = ways_store_[base + w];
-        if (way.valid)
-            lines.push_back(way.line);
+    std::uint64_t m = valid_bits_[set];
+    while (m != 0) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+        lines.push_back(tags_[base + w]);
+        m &= m - 1;
     }
     return lines;
 }

@@ -7,11 +7,11 @@
 #define ANVIL_CACHE_CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/flat_replacement.hh"
 #include "cache/replacement.hh"
 #include "common/types.hh"
 
@@ -104,19 +104,21 @@ class Cache
     }
 
   private:
-    struct Way {
-        Addr line = 0;
-        bool valid = false;
-    };
-
     /** Finds the way holding @p line in @p set, or nullopt. */
     std::optional<std::uint32_t> find(std::uint32_t set, Addr line) const;
 
     std::string name_;
     std::uint32_t sets_;
     std::uint32_t ways_;
-    std::vector<Way> ways_store_;  ///< [set * ways_ + way]
-    std::vector<std::unique_ptr<SetPolicy>> policies_;
+    std::uint64_t full_mask_;  ///< all @c ways_ low bits set
+    /// Packed tag store, [set * ways_ + way]; an entry is meaningful only
+    /// while its bit in valid_bits_ is set. Tags-only layout keeps a whole
+    /// set's tags in one or two cache lines for the probe scan.
+    std::vector<Addr> tags_;
+    /// Per-set bitmask of valid ways: probes iterate its set bits,
+    /// fill() finds the first free way with one bit operation.
+    std::vector<std::uint64_t> valid_bits_;
+    ReplacementEngine repl_;   ///< flat per-set replacement state
     CacheStats stats_;
 };
 

@@ -1,0 +1,26 @@
+#include "cache/flat_replacement.hh"
+
+namespace anvil::cache {
+
+ReplacementEngine::Variant
+ReplacementEngine::make(ReplPolicy policy, std::uint32_t sets,
+                        std::uint32_t ways, Rng *rng)
+{
+    switch (policy) {
+      case ReplPolicy::kLru:
+        return Variant{std::in_place_type<LruEngine>, sets, ways};
+      case ReplPolicy::kBitPlru:
+        return Variant{std::in_place_type<BitPlruEngine>, sets, ways};
+      case ReplPolicy::kNru:
+        return Variant{std::in_place_type<NruEngine>, sets, ways};
+      case ReplPolicy::kTreePlru:
+        return Variant{std::in_place_type<TreePlruEngine>, sets, ways};
+      case ReplPolicy::kSrrip:
+        return Variant{std::in_place_type<SrripEngine>, sets, ways};
+      case ReplPolicy::kRandom:
+        return Variant{std::in_place_type<RandomEngine>, ways, rng};
+    }
+    return Variant{std::in_place_type<LruEngine>, sets, ways};
+}
+
+}  // namespace anvil::cache

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/bits.hh"
+
 namespace anvil::cache {
 
 namespace {
@@ -22,20 +24,18 @@ constexpr std::uint64_t kSliceMasks[3] = {
 }  // namespace
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
-    : config_(config), rng_(config.rng_seed)
+    : config_(config),
+      rng_(config.rng_seed),
+      l1_("L1", config_.l1_sets, config_.l1_ways, config_.l1_policy, &rng_),
+      l2_("L2", config_.l2_sets, config_.l2_ways, config_.l2_policy, &rng_)
 {
-    l1_ = std::make_unique<Cache>("L1", config_.l1_sets, config_.l1_ways,
-                                  config_.l1_policy, &rng_);
-    l2_ = std::make_unique<Cache>("L2", config_.l2_sets, config_.l2_ways,
-                                  config_.l2_policy, &rng_);
-    assert(config_.llc_slices > 0 &&
-           (config_.llc_slices & (config_.llc_slices - 1)) == 0 &&
-           "slice count must be 2^k");
+    assert(is_pow2(config_.llc_slices) && "slice count must be 2^k");
     assert(config_.llc_slices <= 8 && "at most 3 slice-hash bits defined");
+    llc_.reserve(config_.llc_slices);
     for (std::uint32_t s = 0; s < config_.llc_slices; ++s) {
-        llc_.push_back(std::make_unique<Cache>(
-            "LLC.slice" + std::to_string(s), config_.llc_sets_per_slice,
-            config_.llc_ways, config_.llc_policy, &rng_));
+        llc_.emplace_back("LLC.slice" + std::to_string(s),
+                          config_.llc_sets_per_slice, config_.llc_ways,
+                          config_.llc_policy, &rng_);
     }
 }
 
@@ -63,15 +63,14 @@ CacheHierarchy::llc_set(Addr pa) const
 }
 
 void
-CacheHierarchy::install_llc(Addr pa)
+CacheHierarchy::install_llc(Addr pa, Cache &slice)
 {
-    Cache &slice = *llc_[llc_slice(pa)];
     if (auto evicted = slice.fill(pa)) {
         if (config_.llc_inclusive) {
             // Inclusive LLC: a line leaving the LLC must leave the core
             // caches too (back-invalidation).
-            l1_->invalidate(*evicted);
-            l2_->invalidate(*evicted);
+            l1_.invalidate(*evicted);
+            l2_.invalidate(*evicted);
         }
     }
 }
@@ -82,31 +81,31 @@ CacheHierarchy::access(Addr pa, AccessType type)
     (void)type;  // loads and stores are symmetric in the tag-store model
     Result result;
 
-    if (l1_->access(pa)) {
+    if (l1_.access(pa)) {
         result.source = DataSource::kL1;
         result.latency = config_.l1_latency;
         return result;
     }
-    if (l2_->access(pa)) {
-        l1_->fill(pa);
+    if (l2_.access(pa)) {
+        l1_.fill(pa);
         result.source = DataSource::kL2;
         result.latency = config_.l2_latency;
         return result;
     }
 
-    Cache &slice = *llc_[llc_slice(pa)];
+    Cache &slice = llc_[llc_slice(pa)];
     if (slice.access(pa)) {
-        l2_->fill(pa);
-        l1_->fill(pa);
+        l2_.fill(pa);
+        l1_.fill(pa);
         result.source = DataSource::kLlc;
         result.latency = config_.llc_latency;
         return result;
     }
 
     // Miss to DRAM: fill all levels (LLC first, maintaining inclusion).
-    install_llc(pa);
-    l2_->fill(pa);
-    l1_->fill(pa);
+    install_llc(pa, slice);
+    l2_.fill(pa);
+    l1_.fill(pa);
     result.source = DataSource::kDram;
     result.latency = config_.llc_latency;  // DRAM latency added by caller
     result.llc_miss = true;
@@ -117,17 +116,17 @@ int
 CacheHierarchy::clflush(Addr pa)
 {
     int found = 0;
-    found += l1_->invalidate(pa) ? 1 : 0;
-    found += l2_->invalidate(pa) ? 1 : 0;
-    found += llc_[llc_slice(pa)]->invalidate(pa) ? 1 : 0;
+    found += l1_.invalidate(pa) ? 1 : 0;
+    found += l2_.invalidate(pa) ? 1 : 0;
+    found += llc_[llc_slice(pa)].invalidate(pa) ? 1 : 0;
     return found;
 }
 
 bool
 CacheHierarchy::present_anywhere(Addr pa) const
 {
-    return l1_->contains(pa) || l2_->contains(pa) ||
-           llc_[llc_slice(pa)]->contains(pa);
+    return l1_.contains(pa) || l2_.contains(pa) ||
+           llc_[llc_slice(pa)].contains(pa);
 }
 
 CacheStats
@@ -135,7 +134,7 @@ CacheHierarchy::llc_stats() const
 {
     CacheStats total;
     for (const auto &slice : llc_) {
-        const CacheStats &s = slice->stats();
+        const CacheStats &s = slice.stats();
         total.accesses += s.accesses;
         total.hits += s.hits;
         total.misses += s.misses;
@@ -149,10 +148,10 @@ CacheHierarchy::llc_stats() const
 void
 CacheHierarchy::reset_stats()
 {
-    l1_->reset_stats();
-    l2_->reset_stats();
+    l1_.reset_stats();
+    l2_.reset_stats();
     for (auto &slice : llc_)
-        slice->reset_stats();
+        slice.reset_stats();
 }
 
 }  // namespace anvil::cache

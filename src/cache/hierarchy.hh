@@ -92,9 +92,9 @@ class CacheHierarchy
     /** Set index within its LLC slice. */
     std::uint32_t llc_set(Addr pa) const;
 
-    const Cache &l1() const { return *l1_; }
-    const Cache &l2() const { return *l2_; }
-    const Cache &llc(std::uint32_t slice) const { return *llc_[slice]; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc(std::uint32_t slice) const { return llc_[slice]; }
     const HierarchyConfig &config() const { return config_; }
 
     /** Aggregate LLC stats across slices. */
@@ -103,13 +103,13 @@ class CacheHierarchy
     void reset_stats();
 
   private:
-    void install_llc(Addr pa);
+    void install_llc(Addr pa, Cache &slice);
 
     HierarchyConfig config_;
     Rng rng_;
-    std::unique_ptr<Cache> l1_;
-    std::unique_ptr<Cache> l2_;
-    std::vector<std::unique_ptr<Cache>> llc_;
+    Cache l1_;
+    Cache l2_;
+    std::vector<Cache> llc_;
 };
 
 }  // namespace anvil::cache

@@ -8,6 +8,11 @@
  * Bit-PLRU ("similar to Not Recently Used"); we implement that policy
  * exactly as described, plus true LRU, NRU, Tree-PLRU, SRRIP, and Random
  * for comparison and ablation.
+ *
+ * These per-set virtual-dispatch policies are the REFERENCE
+ * implementation, kept for golden-equivalence testing; the hot path uses
+ * the flat engines in flat_replacement.hh, which must reproduce these
+ * victim/eviction sequences bit-exactly.
  */
 #ifndef ANVIL_CACHE_REPLACEMENT_HH
 #define ANVIL_CACHE_REPLACEMENT_HH

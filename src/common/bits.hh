@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across subsystems (power-of-two
+ * checks for cache/DRAM geometry, exact log2 for address decomposition).
+ */
+#ifndef ANVIL_COMMON_BITS_HH
+#define ANVIL_COMMON_BITS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace anvil {
+
+/** True if @p v is a (non-zero) power of two. */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. @pre is_pow2(v) */
+constexpr std::uint32_t
+log2_exact(std::uint64_t v)
+{
+    assert(is_pow2(v) && "value must be a power of two");
+    return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+/** Mask selecting the low @p bits bits. */
+constexpr std::uint64_t
+low_mask(std::uint32_t bits)
+{
+    return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+}  // namespace anvil
+
+#endif  // ANVIL_COMMON_BITS_HH

@@ -2,83 +2,31 @@
 
 #include <cassert>
 
+#include "common/bits.hh"
+
 namespace anvil::dram {
 
-std::uint32_t
-AddressMap::log2_exact(std::uint64_t v)
-{
-    assert(v != 0 && (v & (v - 1)) == 0 && "value must be a power of two");
-    std::uint32_t bits = 0;
-    while (v > 1) {
-        v >>= 1;
-        ++bits;
-    }
-    return bits;
-}
-
 AddressMap::AddressMap(const DramConfig &config)
-    : column_bits_(log2_exact(config.row_bytes)),
-      bank_bits_(log2_exact(config.banks_per_rank)),
+    : bank_bits_(log2_exact(config.banks_per_rank)),
       rank_bits_(log2_exact(config.ranks_per_channel)),
-      channel_bits_(log2_exact(config.channels)),
-      row_bits_(log2_exact(config.rows_per_bank)),
-      banks_per_rank_(config.banks_per_rank),
-      ranks_per_channel_(config.ranks_per_channel),
       capacity_(config.capacity_bytes())
 {
-    row_stride_ = static_cast<Addr>(1)
-                  << (column_bits_ + bank_bits_ + rank_bits_ +
-                      channel_bits_);
-}
+    const std::uint32_t column_bits = log2_exact(config.row_bytes);
+    const std::uint32_t channel_bits = log2_exact(config.channels);
+    const std::uint32_t row_bits = log2_exact(config.rows_per_bank);
 
-DramCoord
-AddressMap::decode(Addr pa) const
-{
-    assert(pa < capacity_ && "physical address outside module");
-    DramCoord coord;
     std::uint32_t shift = 0;
-
-    coord.column = static_cast<std::uint32_t>(pa & ((1ULL << column_bits_) -
-                                                    1));
-    shift += column_bits_;
-    coord.bank = static_cast<std::uint32_t>((pa >> shift) &
-                                            ((1ULL << bank_bits_) - 1));
+    column_ = Field{shift, low_mask(column_bits)};
+    shift += column_bits;
+    bank_ = Field{shift, low_mask(bank_bits_)};
     shift += bank_bits_;
-    coord.rank = static_cast<std::uint32_t>((pa >> shift) &
-                                            ((1ULL << rank_bits_) - 1));
+    rank_ = Field{shift, low_mask(rank_bits_)};
     shift += rank_bits_;
-    coord.channel = static_cast<std::uint32_t>((pa >> shift) &
-                                               ((1ULL << channel_bits_) - 1));
-    shift += channel_bits_;
-    coord.row = static_cast<std::uint32_t>((pa >> shift) &
-                                           ((1ULL << row_bits_) - 1));
-    return coord;
-}
+    channel_ = Field{shift, low_mask(channel_bits)};
+    shift += channel_bits;
+    row_ = Field{shift, low_mask(row_bits)};
 
-Addr
-AddressMap::encode(const DramCoord &coord) const
-{
-    Addr pa = 0;
-    std::uint32_t shift = 0;
-
-    pa |= static_cast<Addr>(coord.column);
-    shift += column_bits_;
-    pa |= static_cast<Addr>(coord.bank) << shift;
-    shift += bank_bits_;
-    pa |= static_cast<Addr>(coord.rank) << shift;
-    shift += rank_bits_;
-    pa |= static_cast<Addr>(coord.channel) << shift;
-    shift += channel_bits_;
-    pa |= static_cast<Addr>(coord.row) << shift;
-    return pa;
-}
-
-std::uint32_t
-AddressMap::flat_bank(const DramCoord &coord) const
-{
-    return (coord.channel * ranks_per_channel_ + coord.rank) *
-               banks_per_rank_ +
-           coord.bank;
+    row_stride_ = static_cast<Addr>(1) << shift;
 }
 
 }  // namespace anvil::dram

@@ -13,6 +13,7 @@
 #ifndef ANVIL_DRAM_ADDRESS_MAP_HH
 #define ANVIL_DRAM_ADDRESS_MAP_HH
 
+#include <cassert>
 #include <cstdint>
 
 #include "dram/config.hh"
@@ -35,23 +36,60 @@ struct DramCoord {
     }
 };
 
-/** Bit-slicing address decoder (and encoder, for tests and attacks). */
+/**
+ * Bit-slicing address decoder (and encoder, for tests and attacks).
+ *
+ * The per-field shift/mask pairs are precomputed at construction so
+ * decode()/encode() on the per-access hot path are pure shift-and-mask
+ * with no accumulation chain.
+ */
 class AddressMap
 {
   public:
     explicit AddressMap(const DramConfig &config);
 
     /** Decodes @p pa into DRAM coordinates. @pre pa < capacity. */
-    DramCoord decode(Addr pa) const;
+    DramCoord
+    decode(Addr pa) const
+    {
+        assert(pa < capacity_ && "physical address outside module");
+        DramCoord coord;
+        coord.column =
+            static_cast<std::uint32_t>(pa & column_.mask);
+        coord.bank =
+            static_cast<std::uint32_t>((pa >> bank_.shift) & bank_.mask);
+        coord.rank =
+            static_cast<std::uint32_t>((pa >> rank_.shift) & rank_.mask);
+        coord.channel = static_cast<std::uint32_t>((pa >> channel_.shift) &
+                                                   channel_.mask);
+        coord.row =
+            static_cast<std::uint32_t>((pa >> row_.shift) & row_.mask);
+        return coord;
+    }
 
     /** Encodes coordinates back into a physical address. */
-    Addr encode(const DramCoord &coord) const;
+    Addr
+    encode(const DramCoord &coord) const
+    {
+        return static_cast<Addr>(coord.column) |
+               (static_cast<Addr>(coord.bank) << bank_.shift) |
+               (static_cast<Addr>(coord.rank) << rank_.shift) |
+               (static_cast<Addr>(coord.channel) << channel_.shift) |
+               (static_cast<Addr>(coord.row) << row_.shift);
+    }
 
     /**
      * Globally unique (flattened) bank index in
-     * [0, config.total_banks()).
+     * [0, config.total_banks()). Geometry fields are powers of two, so
+     * this is shift/or rather than multiply/add.
      */
-    std::uint32_t flat_bank(const DramCoord &coord) const;
+    std::uint32_t
+    flat_bank(const DramCoord &coord) const
+    {
+        return (((coord.channel << rank_bits_) | coord.rank)
+                << bank_bits_) |
+               coord.bank;
+    }
 
     /** Distance, in bytes of physical address, between rows of a bank. */
     Addr row_stride() const { return row_stride_; }
@@ -60,15 +98,19 @@ class AddressMap
     Addr capacity() const { return capacity_; }
 
   private:
-    static std::uint32_t log2_exact(std::uint64_t v);
+    /** One decoded field: value = (pa >> shift) & mask. */
+    struct Field {
+        std::uint32_t shift = 0;
+        std::uint64_t mask = 0;
+    };
 
-    std::uint32_t column_bits_;
     std::uint32_t bank_bits_;
     std::uint32_t rank_bits_;
-    std::uint32_t channel_bits_;
-    std::uint32_t row_bits_;
-    std::uint32_t banks_per_rank_;
-    std::uint32_t ranks_per_channel_;
+    Field column_;
+    Field bank_;
+    Field rank_;
+    Field channel_;
+    Field row_;
     Addr row_stride_;
     Addr capacity_;
 };

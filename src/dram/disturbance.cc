@@ -68,11 +68,20 @@ void
 DisturbanceModel::sync_window(std::uint32_t row, RowState &state,
                               Tick now) const
 {
+    // last_refresh(now) > window_start exactly when now has reached the
+    // first refresh after window_start, so caching that deadline reduces
+    // the steady-state check to one comparison.
+    if (state.refresh_due == 0)
+        state.refresh_due = schedule_.next_refresh(row, state.window_start);
+    if (now < state.refresh_due)
+        return;
     const Tick refreshed = schedule_.last_refresh(row, now);
-    if (refreshed > state.window_start) {
-        state = RowState();
-        state.window_start = refreshed;
-    }
+    const std::uint64_t threshold = state.threshold;
+    const std::uint64_t flip_floor = state.flip_floor;
+    state = RowState();
+    state.window_start = refreshed;
+    state.threshold = threshold;
+    state.flip_floor = flip_floor;
 }
 
 double
@@ -85,11 +94,23 @@ DisturbanceModel::disturbance(const RowState &state) const
            state.second_neighbor;
 }
 
+DisturbanceModel::RowState &
+DisturbanceModel::row_state(std::uint32_t row)
+{
+    Memo &m = memo_[row & (kMemoSize - 1)];
+    if (m.state != nullptr && m.row == row)
+        return *m.state;
+    RowState &state = rows_[row];
+    m.row = row;
+    m.state = &state;
+    return state;
+}
+
 void
 DisturbanceModel::disturb(std::uint32_t victim, std::uint32_t aggressor,
                           Tick now)
 {
-    RowState &state = rows_[victim];
+    RowState &state = row_state(victim);
     sync_window(victim, state, now);
 
     const auto dist = static_cast<std::int64_t>(aggressor) -
@@ -102,22 +123,40 @@ DisturbanceModel::disturb(std::uint32_t victim, std::uint32_t aggressor,
         state.second_neighbor += config_.second_neighbor_weight;
     }
 
-    if (!state.flipped && disturbance(state) >=
-                              static_cast<double>(threshold_of(victim))) {
+    if (state.flipped)
+        return;
+    if (state.threshold == 0) {
+        state.threshold = threshold_of(victim);
+        // D = L + R + alpha * min(L, R) + w2-term
+        //   <= (L + R) * (1 + alpha / 2) when the w2 term is zero,
+        // so no flip is possible while L + R stays below this floor
+        // (floor-rounded, hence conservative).
+        state.flip_floor = static_cast<std::uint64_t>(
+            static_cast<double>(state.threshold) /
+            (1.0 + config_.double_sided_alpha * 0.5));
+    }
+    if (state.second_neighbor == 0.0 &&
+        state.left + state.right < state.flip_floor)
+        return;
+    if (disturbance(state) >= static_cast<double>(state.threshold)) {
         state.flipped = true;
         flip_log_.push_back(FlipEvent{now, flat_bank_, victim,
-                                      disturbance(state),
-                                      threshold_of(victim)});
+                                      disturbance(state), state.threshold});
     }
 }
 
 void
 DisturbanceModel::on_activate(std::uint32_t row, Tick now)
 {
-    // An activation restores the accessed row's own charge.
-    RowState &self = rows_[row];
+    // An activation restores the accessed row's own charge. The cached
+    // threshold survives (it is a property of the row, not the window);
+    // refresh_due is left 0 for lazy recomputation if the row is ever
+    // disturbed.
+    RowState &self = row_state(row);
+    const std::uint64_t threshold = self.threshold;
     self = RowState();
     self.window_start = now;
+    self.threshold = threshold;
 
     const auto last_row = config_.rows_per_bank - 1;
     if (row > 0)

@@ -24,6 +24,7 @@
 #ifndef ANVIL_DRAM_DISTURBANCE_HH
 #define ANVIL_DRAM_DISTURBANCE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,18 @@ class DisturbanceModel
   private:
     struct RowState {
         Tick window_start = 0;
+        /// First refresh strictly after window_start; 0 = not yet
+        /// computed. Cached so the per-disturb window check is a single
+        /// comparison instead of two divides in the refresh schedule.
+        Tick refresh_due = 0;
+        /// Cached threshold_of(row); 0 = not yet computed. The threshold
+        /// is time-invariant, so it survives window resets.
+        std::uint64_t threshold = 0;
+        /// Conservative integer bound cached with threshold: while
+        /// left + right < flip_floor (and no distance-2 disturbance has
+        /// accrued), disturbance() cannot reach threshold, so the
+        /// floating-point evaluation is skipped.
+        std::uint64_t flip_floor = 0;
         std::uint64_t left = 0;        ///< activations of row-1
         std::uint64_t right = 0;       ///< activations of row+1
         double second_neighbor = 0.0;  ///< weighted distance-2 activations
@@ -114,10 +127,26 @@ class DisturbanceModel
 
     void disturb(std::uint32_t victim, std::uint32_t aggressor, Tick now);
 
+    /**
+     * rows_[row] through a small direct-mapped memo of recent lookups.
+     * Hammering touches the same few rows millions of times; the memo
+     * turns the hash-map probe into an array load in the common case.
+     * Entries point at unordered_map nodes, which stay put (node-based
+     * container, never erased from).
+     */
+    RowState &row_state(std::uint32_t row);
+
+    struct Memo {
+        std::uint32_t row = 0;
+        RowState *state = nullptr;
+    };
+    static constexpr std::uint32_t kMemoSize = 8;
+
     const DramConfig &config_;
     std::uint32_t flat_bank_;
     const RefreshSchedule &schedule_;
     std::vector<FlipEvent> &flip_log_;
+    std::array<Memo, kMemoSize> memo_;
     mutable std::unordered_map<std::uint32_t, RowState> rows_;
 };
 

@@ -7,7 +7,9 @@ namespace anvil::dram {
 Bank::Bank(const DramConfig &config, std::uint32_t flat_bank,
            const RefreshSchedule &schedule, std::vector<FlipEvent> &flip_log)
     : config_(config),
-      disturbance_(config, flat_bank, schedule, flip_log)
+      disturbance_(config, flat_bank, schedule, flip_log),
+      t_refi_(config.t_refi()),
+      window_end_(t_refi_)
 {
 }
 
@@ -15,11 +17,17 @@ bool
 Bank::access(std::uint32_t row, Tick now)
 {
     // A REF command precharges all banks; if one was issued since our last
-    // access, the row buffer no longer holds our row.
-    const Tick t_refi = config_.t_refi();
-    if (open_row_ && now / t_refi != last_access_ / t_refi)
+    // access, the row buffer no longer holds our row. The bank tracks the
+    // bounds of the tREFI window containing its last access and only
+    // recomputes them on a window crossing — the common case (same window,
+    // or the immediately following one) costs no divide.
+    if (now >= window_end_ || now + t_refi_ < window_end_) {
         open_row_.reset();
-    last_access_ = now;
+        if (now < window_end_ + t_refi_ && now >= window_end_)
+            window_end_ += t_refi_;  // adjacent window: roll forward
+        else
+            window_end_ = (now / t_refi_ + 1) * t_refi_;  // far jump
+    }
 
     if (open_row_ && *open_row_ == row)
         return true;
@@ -31,7 +39,10 @@ Bank::access(std::uint32_t row, Tick now)
 }
 
 DramSystem::DramSystem(const DramConfig &config)
-    : config_(config), map_(config), schedule_(config)
+    : config_(config),
+      map_(config),
+      schedule_(config),
+      t_refi_(config.t_refi())
 {
     banks_.reserve(config_.total_banks());
     for (std::uint32_t b = 0; b < config_.total_banks(); ++b)
@@ -39,11 +50,20 @@ DramSystem::DramSystem(const DramConfig &config)
 }
 
 Tick
-DramSystem::refresh_stall(Tick now) const
+DramSystem::refresh_stall(Tick now)
 {
-    const Tick t_refi = config_.t_refi();
-    const Tick window_start = (now / t_refi) * t_refi;
-    const Tick window_end = window_start + config_.t_rfc;
+    // Roll the cached tREFI window forward to the one containing `now`;
+    // accesses arrive in (nearly) monotonic time order, so the window
+    // start almost never needs the divide.
+    if (now >= stall_window_start_ + t_refi_) {
+        if (now < stall_window_start_ + 2 * t_refi_)
+            stall_window_start_ += t_refi_;
+        else
+            stall_window_start_ = now - now % t_refi_;
+    } else if (now < stall_window_start_) {
+        stall_window_start_ = now - now % t_refi_;
+    }
+    const Tick window_end = stall_window_start_ + config_.t_rfc;
     return now < window_end ? window_end - now : 0;
 }
 

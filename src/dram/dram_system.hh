@@ -47,7 +47,8 @@ class Bank
     const DramConfig &config_;
     DisturbanceModel disturbance_;
     std::optional<std::uint32_t> open_row_;
-    Tick last_access_ = 0;
+    Tick t_refi_;        ///< cached, avoids a divide per access
+    Tick window_end_;    ///< end of the tREFI window of the last access
     std::uint64_t activations_ = 0;
 };
 
@@ -148,7 +149,7 @@ class DramSystem
 
   private:
     /** Stall until any in-progress REF command completes. */
-    Tick refresh_stall(Tick now) const;
+    Tick refresh_stall(Tick now);
 
     DramConfig config_;
     AddressMap map_;
@@ -157,6 +158,11 @@ class DramSystem
     std::vector<Bank> banks_;
     std::vector<ActivationHook> activation_hooks_;
     Stats stats_;
+
+    // Cached refresh-window bounds for refresh_stall: rolled forward
+    // monotonically instead of re-dividing by tREFI on every access.
+    Tick t_refi_;
+    Tick stall_window_start_ = 0;
 };
 
 }  // namespace anvil::dram

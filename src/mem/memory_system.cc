@@ -11,6 +11,18 @@ MemorySystem::MemorySystem(const SystemConfig &config)
       dram_(config.dram),
       hierarchy_(config.cache)
 {
+    const auto idx = [](DataSource s) {
+        return static_cast<std::size_t>(s);
+    };
+    on_chip_ticks_[idx(DataSource::kL1)] =
+        config_.core.cycles_to_ticks(config_.cache.l1_latency);
+    on_chip_ticks_[idx(DataSource::kL2)] =
+        config_.core.cycles_to_ticks(config_.cache.l2_latency);
+    on_chip_ticks_[idx(DataSource::kLlc)] =
+        config_.core.cycles_to_ticks(config_.cache.llc_latency);
+    on_chip_ticks_[idx(DataSource::kDram)] =
+        config_.core.cycles_to_ticks(config_.cache.llc_latency);
+    clflush_ticks_ = config_.core.cycles_to_ticks(config_.clflush_cycles);
 }
 
 AddressSpace &
@@ -30,7 +42,7 @@ MemorySystem::access(Pid pid, Addr va, AccessType type)
         throw std::out_of_range("access to unmapped virtual address");
 
     const auto on_chip = hierarchy_.access(pa, type);
-    Tick latency = config_.core.cycles_to_ticks(on_chip.latency);
+    Tick latency = on_chip_ticks_[static_cast<std::size_t>(on_chip.source)];
     if (on_chip.llc_miss) {
         if (config_.overlap_llc_miss_lookup)
             latency = dram_.access(pa, clock_.now()).latency;
@@ -50,6 +62,8 @@ MemorySystem::access(Pid pid, Addr va, AccessType type)
     info.llc_miss = on_chip.llc_miss;
     info.complete_time = clock_.now();
 
+    if (listener_ != nullptr)
+        listener_->on_access(info);
     for (const auto &observer : observers_)
         observer(info);
     return info;
@@ -63,7 +77,7 @@ MemorySystem::clflush(Pid pid, Addr va)
     if (pa == kInvalidAddr)
         throw std::out_of_range("clflush of unmapped virtual address");
     hierarchy_.clflush(pa);
-    clock_.elapse(config_.core.cycles_to_ticks(config_.clflush_cycles));
+    clock_.elapse(clflush_ticks_);
 }
 
 void

@@ -10,6 +10,8 @@
 #ifndef ANVIL_MEM_MEMORY_SYSTEM_HH
 #define ANVIL_MEM_MEMORY_SYSTEM_HH
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -53,6 +55,21 @@ struct AccessInfo {
     Tick latency = 0;      ///< total, including DRAM if missed
     bool llc_miss = false;
     Tick complete_time = 0;
+};
+
+/**
+ * Interface for the one component observing every access on the hot path
+ * (in practice: the PMU). A direct virtual call through this interface
+ * replaces the generic std::function observer hop for the common case;
+ * ad-hoc observers (tests, telemetry) still use add_observer().
+ */
+class AccessListener
+{
+  public:
+    virtual ~AccessListener() = default;
+
+    /** Called after every completed access. */
+    virtual void on_access(const AccessInfo &info) = 0;
 };
 
 /**
@@ -102,8 +119,20 @@ class MemorySystem
      */
     void refresh_row_phys(Addr pa);
 
-    /** Registers an observer of completed accesses (e.g. the PMU). */
+    /** Registers an observer of completed accesses (tests, telemetry). */
     void add_observer(Observer observer);
+
+    /**
+     * Registers THE direct access listener (the PMU). At most one;
+     * notified before any generic observers.
+     * @pre no listener registered yet, or @p listener is nullptr.
+     */
+    void
+    set_access_listener(AccessListener *listener)
+    {
+        assert(listener == nullptr || listener_ == nullptr);
+        listener_ = listener;
+    }
 
     dram::DramSystem &dram() { return dram_; }
     const dram::DramSystem &dram() const { return dram_; }
@@ -119,7 +148,13 @@ class MemorySystem
     dram::DramSystem dram_;
     cache::CacheHierarchy hierarchy_;
     std::vector<std::unique_ptr<AddressSpace>> spaces_;
+    AccessListener *listener_ = nullptr;
     std::vector<Observer> observers_;
+    /// cycles_to_ticks of the on-chip latency by DataSource (the hierarchy
+    /// reports one of three fixed config latencies), precomputed so the
+    /// per-access path needs no floating-point conversion.
+    std::array<Tick, 4> on_chip_ticks_{};
+    Tick clflush_ticks_ = 0;  ///< cycles_to_ticks(clflush_cycles)
 };
 
 }  // namespace anvil::mem

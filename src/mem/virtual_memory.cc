@@ -144,6 +144,7 @@ AddressSpace::mmap(std::uint64_t bytes)
         }
     }
     regions_.push_back(MappedRegion{base, chunks * granule, huge});
+    tlb_flush();
     return base;
 }
 
@@ -161,6 +162,7 @@ AddressSpace::mmap_shared(const AddressSpace &source, Addr src_va,
     }
     regions_.push_back(
         MappedRegion{base, pages * kPageBytes, false, true});
+    tlb_flush();
     return base;
 }
 
@@ -175,6 +177,7 @@ AddressSpace::munmap(Addr va_base, std::uint64_t bytes)
         return;
     (void)bytes;  // whole-region unmap, like the attack code's usage
 
+    tlb_flush();
     if (region->shared) {
         // The frames belong to the source mapping; just drop the view.
         for (std::uint64_t off = 0; off < region->bytes;
@@ -204,13 +207,29 @@ AddressSpace::munmap(Addr va_base, std::uint64_t bytes)
     regions_.erase(region);
 }
 
+void
+AddressSpace::tlb_flush()
+{
+    tlb_.fill(TlbEntry{});
+}
+
 Addr
 AddressSpace::translate(Addr va) const
 {
     const Addr page = va & ~static_cast<Addr>(kPageBytes - 1);
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(page >> kPageShift) & (kTlbEntries - 1);
+    TlbEntry &entry = tlb_[idx];
+    if (entry.va_page == page) {
+        ++tlb_hits_;
+        return entry.pa_page | (va & (kPageBytes - 1));
+    }
+    ++tlb_misses_;
     auto it = pages_.find(page);
     if (it == pages_.end())
         return kInvalidAddr;
+    entry.va_page = page;
+    entry.pa_page = it->second;
     return it->second | (va & (kPageBytes - 1));
 }
 

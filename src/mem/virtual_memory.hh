@@ -10,6 +10,7 @@
 #ifndef ANVIL_MEM_VIRTUAL_MEMORY_HH
 #define ANVIL_MEM_VIRTUAL_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -149,8 +150,20 @@ class AddressSpace
     /**
      * Translates a virtual address.
      * @return the physical address, or kInvalidAddr if unmapped.
+     *
+     * Hot path: a small direct-mapped TLB caches page translations in
+     * front of the page-table hash map; it is flushed on every mapping
+     * change (mmap/mmap_shared/munmap), so it can never serve a stale
+     * frame across an unmap/remap frame reuse.
      */
     Addr translate(Addr va) const;
+
+    /** TLB telemetry. */
+    std::uint64_t tlb_hits() const { return tlb_hits_; }
+    std::uint64_t tlb_misses() const { return tlb_misses_; }
+
+    /** Number of direct-mapped TLB entries. */
+    static constexpr std::uint32_t kTlbEntries = 256;
 
     /**
      * The /proc/pagemap interface: physical frame base of the page
@@ -164,11 +177,25 @@ class AddressSpace
     std::uint64_t mapped_pages() const { return pages_.size(); }
 
   private:
+    struct TlbEntry {
+        Addr va_page = kInvalidAddr;
+        Addr pa_page = 0;
+    };
+
+    /** Drops every cached translation (any mapping change). */
+    void tlb_flush();
+
     Pid pid_;
     FrameAllocator &frames_;
     Addr next_va_ = 0x7f0000000000ULL;  ///< mmap region grows upward
     std::unordered_map<Addr, Addr> pages_;  ///< va page -> pa frame
     std::vector<MappedRegion> regions_;
+
+    // Direct-mapped translation cache (mutable: translate() is
+    // semantically const; the TLB is pure memoization).
+    mutable std::array<TlbEntry, kTlbEntries> tlb_;
+    mutable std::uint64_t tlb_hits_ = 0;
+    mutable std::uint64_t tlb_misses_ = 0;
 };
 
 }  // namespace anvil::mem

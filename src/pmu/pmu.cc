@@ -41,7 +41,12 @@ HwCounter::tick()
 Pmu::Pmu(mem::MemorySystem &mem, std::uint64_t seed)
     : mem_(mem), rng_(seed)
 {
-    mem_.add_observer([this](const mem::AccessInfo &info) { observe(info); });
+    mem_.set_access_listener(this);
+}
+
+Pmu::~Pmu()
+{
+    mem_.set_access_listener(nullptr);
 }
 
 HwCounter &
@@ -66,6 +71,7 @@ Pmu::enable_sampling(const SampleConfig &config)
     // Let a few events accumulate before the first record so the
     // event-rate estimate has something to chew on.
     next_sample_at_ = 16;
+    records_.reserve(64);
 }
 
 void
@@ -78,6 +84,13 @@ std::vector<PebsRecord>
 Pmu::drain_samples()
 {
     return std::exchange(records_, {});
+}
+
+void
+Pmu::drain_samples(std::vector<PebsRecord> &out)
+{
+    out.clear();
+    std::swap(out, records_);
 }
 
 void
@@ -104,7 +117,7 @@ Pmu::schedule_next_sample(Tick now)
 }
 
 void
-Pmu::observe(const mem::AccessInfo &info)
+Pmu::on_access(const mem::AccessInfo &info)
 {
     // Event counters.
     if (info.llc_miss) {

@@ -108,11 +108,15 @@ struct SampleConfig {
 };
 
 /** The PMU. One per simulated core. */
-class Pmu
+class Pmu : public mem::AccessListener
 {
   public:
-    /** Constructs and subscribes to @p mem's access stream. */
+    /**
+     * Constructs and subscribes to @p mem's access stream as its direct
+     * access listener (no per-access std::function indirection).
+     */
     explicit Pmu(mem::MemorySystem &mem, std::uint64_t seed = 0x9EB5ULL);
+    ~Pmu() override;
 
     Pmu(const Pmu &) = delete;
     Pmu &operator=(const Pmu &) = delete;
@@ -132,11 +136,23 @@ class Pmu
     /** Takes all accumulated PEBS records. */
     std::vector<PebsRecord> drain_samples();
 
+    /**
+     * Takes all accumulated PEBS records into @p out (cleared first) by
+     * swapping buffers — the steady-state path allocates nothing once both
+     * vectors have grown to the high-water mark.
+     */
+    void drain_samples(std::vector<PebsRecord> &out);
+
+    /** Drops all accumulated records, keeping the buffer's capacity. */
+    void discard_samples() { records_.clear(); }
+
     /** Number of records accumulated (without draining). */
     std::size_t pending_samples() const { return records_.size(); }
 
+    /** mem::AccessListener: called by the memory system on every access. */
+    void on_access(const mem::AccessInfo &info) override;
+
   private:
-    void observe(const mem::AccessInfo &info);
     void schedule_next_sample(Tick now);
 
     mem::MemorySystem &mem_;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -11,7 +12,9 @@ EventQueue::schedule_at(Tick when, std::function<void()> fn)
 {
     assert(when >= now_ && "cannot schedule events in the past");
     const EventId id = next_id_++;
-    events_.emplace(Key{when, id}, std::move(fn));
+    heap_.push_back(Entry{when, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    live_.insert(id);
     return id;
 }
 
@@ -24,39 +27,60 @@ EventQueue::schedule_in(Tick delay, std::function<void()> fn)
 bool
 EventQueue::cancel(EventId id)
 {
-    for (auto it = events_.begin(); it != events_.end(); ++it) {
-        if (it->first.id == id) {
-            events_.erase(it);
-            return true;
-        }
+    if (live_.erase(id) == 0)
+        return false;
+    // The heap entry stays behind as a tombstone; it is skipped when it
+    // reaches the top, or swept out wholesale by maybe_compact().
+    maybe_compact();
+    return true;
+}
+
+void
+EventQueue::prune_top() const
+{
+    while (!heap_.empty() && !live_.count(heap_.front().id)) {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
     }
-    return false;
+}
+
+void
+EventQueue::maybe_compact()
+{
+    const std::size_t dead = heap_.size() - live_.size();
+    if (dead <= 16 || dead * 2 <= heap_.size())
+        return;
+    std::erase_if(heap_,
+                  [&](const Entry &e) { return !live_.count(e.id); });
+    std::make_heap(heap_.begin(), heap_.end(), later);
 }
 
 Tick
 EventQueue::next_deadline() const
 {
-    if (events_.empty())
+    prune_top();
+    if (heap_.empty())
         return std::numeric_limits<Tick>::max();
-    return events_.begin()->first.when;
+    return heap_.front().when;
 }
 
 void
-EventQueue::advance_to(Tick t)
+EventQueue::run_due(Tick t)
 {
     // Handlers may themselves elapse time (e.g. ANVIL charging detector
     // overhead), which re-enters advance_to and can push now_ past t; the
     // max() below keeps the clock monotonic in that case.
-    while (!events_.empty()) {
-        auto it = events_.begin();
-        if (it->first.when > t)
-            break;
-        // Move the handler out before erasing so it can schedule/cancel.
-        std::function<void()> fn = std::move(it->second);
-        if (it->first.when > now_)
-            now_ = it->first.when;
-        events_.erase(it);
-        fn();
+    while (!heap_.empty() && heap_.front().when <= t) {
+        // Pop the event before running it so the handler can freely
+        // schedule/cancel (including re-entering advance_to).
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        Entry entry = std::move(heap_.back());
+        heap_.pop_back();
+        if (live_.erase(entry.id) == 0)
+            continue;  // tombstone
+        if (entry.when > now_)
+            now_ = entry.when;
+        entry.fn();
     }
     if (t > now_)
         now_ = t;

@@ -12,7 +12,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -26,6 +27,15 @@ using EventId = std::uint64_t;
  *
  * Ties are broken by scheduling order (FIFO among equal deadlines), which
  * keeps runs deterministic.
+ *
+ * Implementation: a binary min-heap keyed on (when, id) — ids increase
+ * monotonically, so the (when, id) order reproduces the FIFO tie-break
+ * exactly. cancel() is O(1): the event's id is simply dropped from the
+ * live set and its heap entry becomes a tombstone that is skipped when it
+ * surfaces; when tombstones outnumber live events the heap is compacted
+ * in one pass (deferred compaction). ANVIL schedules *and* cancels a
+ * window event on every stage transition, which made the previous
+ * map + linear-scan-cancel implementation a per-transition hot spot.
  */
 class EventQueue
 {
@@ -54,30 +64,60 @@ class EventQueue
      * order. Handlers observe now() == their deadline and may schedule
      * further events (which also fire if due before @p t).
      */
-    void advance_to(Tick t);
+    void
+    advance_to(Tick t)
+    {
+        // Fast path: the heap top is the minimum deadline of all entries
+        // (live or tombstone), so if it is beyond @p t nothing can be due
+        // and the per-call cost is one comparison — no liveness lookup.
+        // This runs on every simulated memory access.
+        if (heap_.empty() || heap_.front().when > t) {
+            if (t > now_)
+                now_ = t;
+            return;
+        }
+        run_due(t);
+    }
 
     /** Advances the clock by @p dt ticks (see advance_to). */
     void elapse(Tick dt) { advance_to(now_ + dt); }
 
     /** Number of events still pending. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return live_.size(); }
 
     /** Deadline of the earliest pending event, or max Tick if none. */
     Tick next_deadline() const;
 
+    /** Heap entries occupied by cancelled events (for tests). */
+    std::size_t tombstones() const { return heap_.size() - live_.size(); }
+
   private:
-    struct Key {
+    struct Entry {
         Tick when;
         EventId id;
-        bool operator<(const Key &o) const
-        {
-            return when != o.when ? when < o.when : id < o.id;
-        }
+        std::function<void()> fn;
     };
+
+    /** Min-heap "greater" comparator over (when, id). */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+
+    /** Pops tombstones off the heap top until a live event (or empty). */
+    void prune_top() const;
+
+    /** Slow path of advance_to: at least one heap entry has deadline <= t. */
+    void run_due(Tick t);
+
+    /** One-pass removal of all tombstones once they dominate the heap. */
+    void maybe_compact();
 
     Tick now_ = 0;
     EventId next_id_ = 1;
-    std::map<Key, std::function<void()>> events_;
+    mutable std::vector<Entry> heap_;
+    std::unordered_set<EventId> live_;  ///< scheduled, not fired/cancelled
 };
 
 /**

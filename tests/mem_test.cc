@@ -235,6 +235,68 @@ TEST(AddressSpace, RegionsDoNotOverlap)
     EXPECT_GE(r2, r1 + 3 * kPageBytes);
 }
 
+TEST(AddressSpace, TlbCountsHitsAndMisses)
+{
+    FrameAllocator frames(64ULL << 20, 9);
+    AddressSpace space(0, frames);
+    const Addr base = space.mmap(2 * kPageBytes);
+    EXPECT_EQ(space.tlb_hits(), 0u);
+
+    const Addr pa = space.translate(base);  // cold: page-table walk
+    EXPECT_EQ(space.tlb_misses(), 1u);
+    EXPECT_EQ(space.translate(base + 64), pa + 64);  // warm: TLB hit
+    EXPECT_EQ(space.tlb_hits(), 1u);
+    EXPECT_EQ(space.tlb_misses(), 1u);
+
+    // A different page is a separate entry: one more miss, then hits.
+    space.translate(base + kPageBytes);
+    EXPECT_EQ(space.tlb_misses(), 2u);
+    space.translate(base + kPageBytes + 8);
+    EXPECT_EQ(space.tlb_hits(), 2u);
+}
+
+TEST(AddressSpace, TlbMunmapRemapFrameReuseDoesNotAlias)
+{
+    // The frame-reuse hazard: translate() warms the TLB, the region is
+    // unmapped (frame returns to the allocator), and a new mapping picks
+    // the frame up again. A stale TLB entry would keep translating the
+    // *old* VA to the recycled frame; the munmap flush must prevent it.
+    FrameAllocator frames(16 * kPageBytes, 10);
+    AddressSpace space(0, frames);
+
+    const Addr old_va = space.mmap(kPageBytes);
+    const Addr old_pa = space.translate(old_va);  // cached in the TLB
+    ASSERT_NE(old_pa, kInvalidAddr);
+    space.munmap(old_va, kPageBytes);
+
+    // Drain the small pool so the new page provably reuses the old frame.
+    const Addr new_va = space.mmap(16 * kPageBytes);
+    bool reused = false;
+    for (std::uint64_t p = 0; p < 16; ++p)
+        reused |= space.pagemap(new_va + p * kPageBytes) ==
+                  (old_pa & ~(kPageBytes - 1));
+    EXPECT_TRUE(reused) << "allocator should have recycled the frame";
+
+    // The old VA must now be invalid, not served from a stale entry.
+    EXPECT_EQ(space.translate(old_va), kInvalidAddr);
+}
+
+TEST(AddressSpace, TlbFlushedOnSharedMapAndUnmap)
+{
+    FrameAllocator frames(64ULL << 20, 11);
+    AddressSpace owner(1, frames);
+    AddressSpace viewer(2, frames);
+    const Addr src = owner.mmap(2 * kPageBytes);
+
+    const Addr view = viewer.mmap_shared(owner, src, 2 * kPageBytes);
+    ASSERT_EQ(viewer.translate(view), owner.translate(src));  // warm TLBs
+
+    viewer.munmap(view, 2 * kPageBytes);
+    EXPECT_EQ(viewer.translate(view), kInvalidAddr);
+    // The owner's own mapping (and TLB) is unaffected.
+    EXPECT_NE(owner.translate(src), kInvalidAddr);
+}
+
 class MemorySystemTest : public ::testing::Test
 {
   protected:

@@ -5,8 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/units.hh"
 #include "sim/event_queue.hh"
 
@@ -185,6 +188,150 @@ TEST(PeriodicTimer, DestructionCancelsCleanly)
     }
     q.advance_to(100);
     EXPECT_EQ(fires, 0);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue stress: tombstones, compaction, handler re-entrancy
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueStress, CancelFromHandlerSuppressesLaterEvent)
+{
+    EventQueue q;
+    bool victim_fired = false;
+    const EventId victim = q.schedule_at(20, [&] { victim_fired = true; });
+    q.schedule_at(10, [&] { EXPECT_TRUE(q.cancel(victim)); });
+    q.advance_to(30);
+    EXPECT_FALSE(victim_fired);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueStress, CancelFromHandlerAtSameDeadline)
+{
+    // FIFO tie-break means the first-scheduled handler runs first and may
+    // cancel a same-deadline event scheduled after it.
+    EventQueue q;
+    std::vector<int> fires;
+    EventId second = 0;
+    q.schedule_at(10, [&] {
+        fires.push_back(1);
+        EXPECT_TRUE(q.cancel(second));
+    });
+    second = q.schedule_at(10, [&] { fires.push_back(2); });
+    q.schedule_at(10, [&] { fires.push_back(3); });
+    q.advance_to(10);
+    EXPECT_EQ(fires, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueStress, RearmFromHandlerChainsWithinOneAdvance)
+{
+    // A handler re-arming itself (the PeriodicTimer pattern) must keep
+    // firing within the same advance_to while deadlines remain due.
+    EventQueue q;
+    std::vector<Tick> fires;
+    std::function<void()> rearm = [&] {
+        fires.push_back(q.now());
+        if (fires.size() < 5)
+            q.schedule_in(10, rearm);
+    };
+    q.schedule_at(10, rearm);
+    q.advance_to(35);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 20, 30}));
+    q.advance_to(100);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueueStress, TombstonesAccumulateThenCompact)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i)
+        ids.push_back(q.schedule_at(100 + i, [] {}));
+    // Below both compaction thresholds (dead <= 16): tombstones linger.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    EXPECT_EQ(q.pending(), 10u);
+    EXPECT_EQ(q.tombstones(), 10u);
+    // Crossing dead > 16 with dead * 2 > heap size sweeps them all.
+    for (int i = 10; i < 17; ++i)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    EXPECT_EQ(q.pending(), 3u);
+    EXPECT_EQ(q.tombstones(), 0u);
+    // The survivors still fire, in deadline order.
+    std::vector<EventId> expected(ids.begin() + 17, ids.end());
+    for (EventId id : expected)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueStress, FifoTiesSurviveInterleavedCancels)
+{
+    EventQueue q;
+    std::vector<int> fires;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule_at(50, [&fires, i] { fires.push_back(i); }));
+    // Cancel every other one; survivors must fire in scheduling order.
+    for (int i = 0; i < 8; i += 2)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    q.advance_to(50);
+    EXPECT_EQ(fires, (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(EventQueueStress, RandomizedTraceMatchesReferenceModel)
+{
+    // Deterministic random interleaving of schedule / cancel / advance_to,
+    // checked against a naive ordered-map reference model. The map is keyed
+    // (deadline, id) — exactly the documented firing order — so any heap,
+    // tombstone, or compaction bug shows up as a sequence divergence.
+    EventQueue q;
+    Rng rng(0xE7E47ULL);
+    std::vector<Tick> fired;          // handler-observed fire times
+    std::vector<Tick> expected_fires; // reference-model prediction
+    std::map<std::pair<Tick, EventId>, bool> model;  // value: live
+    std::vector<EventId> cancellable;
+
+    for (int round = 0; round < 2000; ++round) {
+        const auto op = rng.next_below(10);
+        if (op < 5) {
+            const Tick when = q.now() + rng.next_below(200);
+            const EventId id = q.schedule_at(
+                when, [&fired, &q] { fired.push_back(q.now()); });
+            model[{when, id}] = true;
+            cancellable.push_back(id);
+        } else if (op < 7 && !cancellable.empty()) {
+            const auto pick = rng.next_below(cancellable.size());
+            const EventId id = cancellable[pick];
+            bool was_live = false;
+            for (auto &entry : model) {
+                if (entry.first.second == id && entry.second) {
+                    entry.second = false;
+                    was_live = true;
+                    break;
+                }
+            }
+            EXPECT_EQ(q.cancel(id), was_live);
+        } else {
+            const Tick t = q.now() + rng.next_below(150);
+            // Fires due by t, in (deadline, id) order — the map's order.
+            for (auto &entry : model) {
+                if (entry.first.first <= t && entry.second) {
+                    entry.second = false;
+                    expected_fires.push_back(entry.first.first);
+                }
+            }
+            q.advance_to(t);
+            ASSERT_EQ(fired, expected_fires)
+                << "round " << round << " advance_to(" << t << ")";
+            EXPECT_EQ(q.now(), t);
+        }
+        const std::size_t live_in_model = [&] {
+            std::size_t n = 0;
+            for (const auto &entry : model)
+                n += entry.second ? 1 : 0;
+            return n;
+        }();
+        ASSERT_EQ(q.pending(), live_in_model) << "round " << round;
+    }
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare two anvil-bench-v1 reports and fail on throughput regression.
+
+Usage:
+    perf_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
+
+Exits non-zero if any benchmark present in both reports regressed by more
+than the threshold (relative drop in sim_accesses_per_sec). Benchmarks
+only present on one side are reported but do not fail the comparison, so
+adding or retiring scenarios does not require a lockstep baseline update.
+
+CI runners are noisy; the default 30% threshold is deliberately loose —
+this gate catches "accidentally reintroduced a per-access hash-map probe"
+scale regressions, not single-digit drift.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "anvil-bench-v1":
+        sys.exit(f"{path}: not an anvil-bench-v1 report")
+    return {b["name"]: b["sim_accesses_per_sec"] for b in report["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="maximum allowed relative drop (default 0.30)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(base.keys() | cur.keys()):
+        if name not in base:
+            print(f"{name:<44} {'-':>12} {cur[name]:>12.3e}   (new)")
+            continue
+        if name not in cur:
+            print(f"{name:<44} {base[name]:>12.3e} {'-':>12}   (gone)")
+            continue
+        delta = (cur[name] - base[name]) / base[name]
+        flag = ""
+        if delta < -args.max_regression:
+            failures.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:<44} {base[name]:>12.3e} {cur[name]:>12.3e} "
+              f"{delta:>+7.1%}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
