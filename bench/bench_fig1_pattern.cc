@@ -5,6 +5,9 @@
  * misses), the per-iteration cycle cost, and the resulting hammer
  * throughput per 64 ms refresh interval.
  *
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "fig1_pattern").
+ *
  * Paper estimate: (29 x 20) + (2 x 150) = 880 cycles ~ 338 ns per
  * iteration at 2.6 GHz, allowing "up to 190K double-sided hammers with-in
  * a 64ms refresh period"; the test module needed only 110 K per side.
@@ -13,98 +16,49 @@
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "cache/replacement.hh"
+#include "common/table.hh"
+#include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-struct PatternResult {
-    double misses_per_iteration = 0.0;
-    double accesses_per_iteration = 0.0;
-    double ns_per_iteration = 0.0;
-    double cycles_per_iteration = 0.0;
-    double hammers_per_refresh = 0.0;
-    double aggressor_activation_share = 0.0;
-};
-
-PatternResult
-measure_pattern(cache::ReplPolicy llc_policy)
-{
-    mem::SystemConfig config;
-    config.cache.llc_policy = llc_policy;
-    Testbed bed(config);
-
-    const auto target = bed.weakest_double_sided(true);
-    if (!target)
-        throw std::runtime_error("no slice-compatible target");
-    attack::ClflushFreeDoubleSided hammer(bed.machine, bed.attacker->pid(),
-                                          *target, bed.layout);
-
-    for (int i = 0; i < 8; ++i)
-        hammer.step();  // reach steady state
-
-    const auto llc_before = bed.machine.hierarchy().llc_stats();
-    const std::uint64_t acts_before =
-        bed.machine.dram().bank(target->flat_bank).activations();
-    const std::uint64_t dram_before = bed.machine.dram().stats().accesses;
-    const Tick t0 = bed.machine.now();
-    const int iterations = 20000;
-    for (int i = 0; i < iterations; ++i)
-        hammer.step();
-    const auto llc_after = bed.machine.hierarchy().llc_stats();
-
-    PatternResult r;
-    r.misses_per_iteration =
-        static_cast<double>(llc_after.misses - llc_before.misses) /
-        iterations;
-    r.accesses_per_iteration =
-        static_cast<double>(llc_after.accesses - llc_before.accesses) /
-        iterations;
-    r.ns_per_iteration = to_ns(bed.machine.now() - t0) / iterations;
-    r.cycles_per_iteration =
-        r.ns_per_iteration * bed.machine.core().freq_ghz();
-    r.hammers_per_refresh = 64e6 / r.ns_per_iteration;
-    const double aggressor_acts = static_cast<double>(
-        bed.machine.dram().bank(target->flat_bank).activations() -
-        acts_before);
-    const double dram_accesses = static_cast<double>(
-        bed.machine.dram().stats().accesses - dram_before);
-    r.aggressor_activation_share =
-        dram_accesses > 0 ? aggressor_acts / dram_accesses : 0.0;
-    return r;
-}
-
-}  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const PatternResult bitplru =
-        measure_pattern(cache::ReplPolicy::kBitPlru);
+    runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("fig1_pattern").make(cli);
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
+    const runner::ScenarioAggregate &bitplru =
+        sink.scenario("pattern/bitplru");
 
     TextTable cost("Figure 1b / Section 2.2: CLFLUSH-free eviction "
                    "pattern cost model (Bit-PLRU LLC)");
     cost.set_header({"Metric", "Measured", "Paper"});
     cost.add_row({"LLC accesses / iteration",
-                  TextTable::fmt(bitplru.accesses_per_iteration, 1),
+                  TextTable::fmt(bitplru.value_mean("accesses_per_iter"),
+                                 1),
                   "~20-26 (13-address eviction sets)"});
     cost.add_row({"LLC misses / iteration (both aggressors)",
-                  TextTable::fmt(bitplru.misses_per_iteration, 2), "2"});
+                  TextTable::fmt(bitplru.value_mean("misses_per_iter"), 2),
+                  "2"});
     cost.add_row({"cycles / iteration",
-                  TextTable::fmt(bitplru.cycles_per_iteration, 0),
+                  TextTable::fmt(bitplru.value_mean("cycles_per_iter"), 0),
                   "880 (estimate)"});
     cost.add_row({"ns / iteration",
-                  TextTable::fmt(bitplru.ns_per_iteration, 0),
+                  TextTable::fmt(bitplru.value_mean("ns_per_iter"), 0),
                   "338 (estimate) - 409 (measured)"});
     cost.add_row({"double-sided hammers per 64 ms",
                   TextTable::fmt_count(static_cast<std::uint64_t>(
-                      bitplru.hammers_per_refresh)),
+                      bitplru.value_mean("hammers_per_refresh"))),
                   "up to 190,000"});
     cost.add_row({"aggressor share of DRAM activations",
-                  TextTable::fmt(100.0 * bitplru.aggressor_activation_share,
-                                 1) + " %",
+                  TextTable::fmt(
+                      100.0 * bitplru.value_mean("aggressor_act_share"),
+                      1) + " %",
                   "high (precise misses are critical)"});
     cost.print(std::cout);
 
@@ -116,15 +70,16 @@ main()
          {cache::ReplPolicy::kBitPlru, cache::ReplPolicy::kLru,
           cache::ReplPolicy::kNru, cache::ReplPolicy::kTreePlru,
           cache::ReplPolicy::kSrrip, cache::ReplPolicy::kRandom}) {
-        const PatternResult r = measure_pattern(policy);
+        const runner::ScenarioAggregate &agg = sink.scenario(
+            std::string("pattern/") + cache::to_string(policy));
+        const double hammers = agg.value_mean("hammers_per_refresh");
         ablation.add_row(
             {cache::to_string(policy),
-             TextTable::fmt(r.misses_per_iteration, 2),
-             TextTable::fmt(r.ns_per_iteration, 0),
-             TextTable::fmt_count(
-                 static_cast<std::uint64_t>(r.hammers_per_refresh)),
-             r.hammers_per_refresh > 110000 ? "yes" : "no"});
+             TextTable::fmt(agg.value_mean("misses_per_iter"), 2),
+             TextTable::fmt(agg.value_mean("ns_per_iter"), 0),
+             TextTable::fmt_count(static_cast<std::uint64_t>(hammers)),
+             hammers > 110000 ? "yes" : "no"});
     }
     ablation.print(std::cout);
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

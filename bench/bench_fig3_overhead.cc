@@ -5,47 +5,36 @@
  * (b) a doubled DRAM refresh rate, normalized to an unprotected system at
  * the standard 64 ms refresh period.
  *
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "fig3_overhead") and runs as one
+ * parallel sweep (see runner/options.hh for the shared CLI).
+ *
  * Paper: ANVIL peak overhead 3.18 %, average 1.17 %; doubling the refresh
  * rate costs slightly less on average but hurts memory-intensive
  * workloads (mcf-class) the most while providing far weaker protection.
  */
+#include <algorithm>
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
+#include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
+#include "workload/profile.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-/** Simulated time to execute a fixed number of operations. */
-Tick
-run_fixed_work(const std::string &name, bool with_anvil,
-               Tick refresh_period, std::uint64_t ops)
-{
-    mem::SystemConfig config;
-    config.dram.refresh_period = refresh_period;
-    mem::MemorySystem machine(config);
-    pmu::Pmu pmu(machine);
-    std::unique_ptr<detector::Anvil> anvil;
-    if (with_anvil) {
-        anvil = std::make_unique<detector::Anvil>(
-            machine, pmu, detector::AnvilConfig::baseline());
-        anvil->start();
-    }
-    workload::Workload load(machine, workload::spec_profile(name));
-    const Tick start = machine.now();
-    load.run_ops(ops);
-    return machine.now() - start;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000000ULL;
+    runner::CliOptions cli = runner::CliOptions::parse(
+        argc, argv, "  positional: ops per benchmark (default 4000000)");
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("fig3_overhead").make(cli);
+    const std::uint64_t ops = static_cast<std::uint64_t>(
+        cli.positional_double(0, 4000000.0));
+
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
 
     TextTable fig3("Figure 3: Normalized execution time (baseline = "
                    "unprotected, 64 ms refresh; " +
@@ -57,15 +46,15 @@ main(int argc, char **argv)
     double refresh_sum = 0.0;
     int count = 0;
     for (const auto &profile : workload::spec2006_int()) {
-        const Tick base = run_fixed_work(profile.name, false, ms(64), ops);
-        const Tick with_anvil =
-            run_fixed_work(profile.name, true, ms(64), ops);
-        const Tick with_double =
-            run_fixed_work(profile.name, false, ms(32), ops);
-        const double anvil_norm = static_cast<double>(with_anvil) /
-                                  static_cast<double>(base);
-        const double refresh_norm = static_cast<double>(with_double) /
-                                    static_cast<double>(base);
+        const double base =
+            sink.scenario(profile.name + "/base").value_mean("run_ms");
+        const double with_anvil =
+            sink.scenario(profile.name + "/anvil").value_mean("run_ms");
+        const double with_double =
+            sink.scenario(profile.name + "/double-refresh")
+                .value_mean("run_ms");
+        const double anvil_norm = base > 0.0 ? with_anvil / base : 0.0;
+        const double refresh_norm = base > 0.0 ? with_double / base : 0.0;
         fig3.add_row({profile.name, TextTable::fmt(anvil_norm, 4),
                       TextTable::fmt(refresh_norm, 4), ""});
         anvil_sum += anvil_norm;
@@ -79,5 +68,5 @@ main(int argc, char **argv)
     fig3.add_row({"peak (ANVIL)", TextTable::fmt(anvil_peak, 4), "",
                   "ANVIL peak 1.0318"});
     fig3.print(std::cout);
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

@@ -8,166 +8,35 @@
  * fast) — plus the **Section 4.5** detection scenarios on a future module
  * that flips at 110 K row accesses.
  *
- * All 24 cells (5 benchmarks x 4 detector settings, plus 4 future-attack
- * scenarios) run as one parallel sweep (see runner/options.hh for the
- * shared CLI); normalization is computed from the aggregated run times.
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "fig4_sensitivity"). All 24 cells
+ * (5 benchmarks x 4 detector settings, plus 4 future-attack scenarios)
+ * run as one parallel sweep (see runner/options.hh for the shared CLI);
+ * normalization is computed from the aggregated run times.
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
 #include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-runner::TrialResult
-fixed_work_trial(const std::string &name,
-                 const detector::AnvilConfig *config, std::uint64_t ops,
-                 const runner::TrialContext &ctx)
-{
-    mem::SystemConfig machine_config;
-    machine_config.vm_seed = ctx.seed_for("vm");
-    mem::MemorySystem machine(machine_config);
-    pmu::Pmu pmu(machine);
-    std::unique_ptr<detector::Anvil> anvil;
-    if (config != nullptr) {
-        anvil = std::make_unique<detector::Anvil>(machine, pmu, *config);
-        anvil->start();
-    }
-    workload::SpecProfile profile = workload::spec_profile(name);
-    profile.seed = ctx.seed_for("workload");
-    workload::Workload load(machine, profile);
-    const Tick start = machine.now();
-    load.run_ops(ops);
-
-    runner::TrialResult r;
-    r.set_value("run_ms", to_ms(machine.now() - start));
-    r.set_counter("ops", ops);
-    if (anvil)
-        r.set_anvil(anvil->stats());
-    r.set_dram(machine.dram().stats());
-    return r;
-}
-
-/** Section 4.5 scenario: does the config stop the future attack? */
-runner::TrialResult
-future_attack_trial(const detector::AnvilConfig &config, bool spread_out,
-                    const runner::TrialContext &ctx)
-{
-    // "a future scenario where bit flips can occur with 110K DRAM row
-    // accesses (i.e., half the number of accesses that produced flips on
-    // our experiments)"
-    mem::SystemConfig machine_config;
-    machine_config.dram.flip_threshold = 200000;  // 55 K per side
-    machine_config.vm_seed = ctx.seed_for("vm");
-    Testbed bed(machine_config);
-
-    detector::Anvil anvil(bed.machine, bed.pmu, config);
-    anvil.start();
-    const auto target = bed.weakest_double_sided();
-    if (!target)
-        throw std::runtime_error("no target");
-    attack::ClflushDoubleSided hammer(bed.machine, bed.attacker->pid(),
-                                      *target);
-
-    const Tick deadline = bed.machine.now() + ms(200);
-    while (bed.machine.now() < deadline &&
-           bed.machine.dram().flips().empty()) {
-        hammer.step();
-        if (spread_out) {
-            // Spread ~110 K total accesses across a whole refresh period:
-            // rate just above 10 K misses / 6 ms but below 20 K.
-            bed.machine.advance(ns(700));
-        }
-    }
-
-    runner::TrialResult r;
-    r.set_counter("flips", bed.machine.dram().flips().size());
-    r.set_counter("detections", anvil.stats().detections);
-    r.set_anvil(anvil.stats());
-    return r;
-}
-
-std::string
-cell_name(const std::string &benchmark, const char *config)
-{
-    return benchmark + "/" + config;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
 {
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv, "  positional: ops per benchmark (default 4000000)");
-    cli.sweep.name = "fig4_sensitivity";
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("fig4_sensitivity").make(cli);
     const std::uint64_t ops = static_cast<std::uint64_t>(
         cli.positional_double(0, 4000000.0));
-    const std::uint64_t trials = cli.trials_or(1);
 
-    const detector::AnvilConfig baseline =
-        detector::AnvilConfig::baseline();
-    const detector::AnvilConfig light = detector::AnvilConfig::light();
-    const detector::AnvilConfig heavy = detector::AnvilConfig::heavy();
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
 
     const char *benchmarks[] = {"bzip2", "gcc", "gobmk", "libquantum",
                                 "perlbench"};
-    const struct {
-        const char *label;
-        const detector::AnvilConfig *config;  // nullptr = unprotected
-    } settings[] = {
-        {"none", nullptr},
-        {"baseline", &baseline},
-        {"light", &light},
-        {"heavy", &heavy},
-    };
-
-    runner::Sweep sweep(cli.sweep);
-    for (const char *name : benchmarks) {
-        for (const auto &s : settings) {
-            const std::string benchmark = name;
-            const detector::AnvilConfig *config = s.config;
-            sweep.add_scenario(
-                cell_name(benchmark, s.label), trials,
-                [benchmark, config, ops](const runner::TrialContext &ctx) {
-                    return fixed_work_trial(benchmark, config, ops, ctx);
-                });
-        }
-    }
-
-    struct Case {
-        const char *scenario;
-        const char *attack;
-        bool spread;
-        const detector::AnvilConfig *config;
-        const char *paper;
-    };
-    const Case cases[] = {
-        {"future/fast/heavy", "fast (full speed, flips in ~7 ms)", false,
-         &heavy, "caught by ANVIL-heavy"},
-        {"future/fast/baseline", "fast (full speed, flips in ~7 ms)",
-         false, &baseline, "needs smaller windows"},
-        {"future/spread/light", "spread out (just over 10K misses/6 ms)",
-         true, &light, "caught by ANVIL-light"},
-        {"future/spread/baseline",
-         "spread out (just over 10K misses/6 ms)", true, &baseline,
-         "evades the 20K threshold"},
-    };
-    for (const Case &c : cases) {
-        const detector::AnvilConfig *config = c.config;
-        const bool spread = c.spread;
-        sweep.add_scenario(
-            c.scenario, 1,
-            [config, spread](const runner::TrialContext &ctx) {
-                return future_attack_trial(*config, spread, ctx);
-            });
-    }
-
-    runner::ResultSink sink = sweep.run();
-
     TextTable fig4("Figure 4: Normalized execution time under "
                    "ANVIL-baseline / -light / -heavy (" +
                    TextTable::fmt_count(ops) + " ops/benchmark)");
@@ -175,14 +44,13 @@ main(int argc, char **argv)
                      "ANVIL-heavy",
                      "Paper: heavy costs most (up to ~1.08)"});
     for (const char *name : benchmarks) {
+        const std::string benchmark = name;
         const double base =
-            sink.scenario(cell_name(name, "none")).value_mean("run_ms");
+            sink.scenario(benchmark + "/none").value_mean("run_ms");
         const auto norm = [&](const char *label) {
-            const double t =
-                sink.scenario(cell_name(name, label)).value_mean("run_ms");
-            const double n = base > 0.0 ? t / base : 0.0;
-            sink.set_derived(cell_name(name, label), "normalized", n);
-            return n;
+            const double t = sink.scenario(benchmark + "/" + label)
+                                 .value_mean("run_ms");
+            return base > 0.0 ? t / base : 0.0;
         };
         fig4.add_row({name, TextTable::fmt(norm("baseline"), 4),
                       TextTable::fmt(norm("light"), 4),
@@ -190,14 +58,30 @@ main(int argc, char **argv)
     }
     fig4.print(std::cout);
 
+    const struct {
+        const char *scenario;
+        const char *attack;
+        const char *config;
+        const char *paper;
+    } cases[] = {
+        {"future/fast/heavy", "fast (full speed, flips in ~7 ms)",
+         "ANVIL-heavy", "caught by ANVIL-heavy"},
+        {"future/fast/baseline", "fast (full speed, flips in ~7 ms)",
+         "ANVIL-baseline", "needs smaller windows"},
+        {"future/spread/light", "spread out (just over 10K misses/6 ms)",
+         "ANVIL-light", "caught by ANVIL-light"},
+        {"future/spread/baseline",
+         "spread out (just over 10K misses/6 ms)", "ANVIL-baseline",
+         "evades the 20K threshold"},
+    };
     TextTable scenarios("Section 4.5: future-attack scenarios (module "
                         "flips at 110K accesses)");
     scenarios.set_header({"Attack", "Config", "Bit flips", "Detections",
                           "Paper"});
-    for (const Case &c : cases) {
+    for (const auto &c : cases) {
         const runner::ScenarioAggregate &agg = sink.scenario(c.scenario);
         const std::uint64_t flips = agg.counter_sum("flips");
-        scenarios.add_row({c.attack, c.config->name,
+        scenarios.add_row({c.attack, c.config,
                            flips != 0 ? "FLIPPED" : "0",
                            TextTable::fmt_count(
                                agg.counter_sum("detections")),

@@ -7,10 +7,14 @@
  */
 #include <benchmark/benchmark.h>
 
-#include "harness.hh"
+#include "cache/hierarchy.hh"
+#include "dram/dram_system.hh"
+#include "scenario/testbed.hh"
+#include "sim/event_queue.hh"
+#include "workload/workload.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
+using anvil::scenario::Testbed;
 
 namespace {
 

@@ -11,152 +11,84 @@
  *   TRR             — counter-based targeted row refresh (hardware);
  *   ANVIL           — the paper's software detector.
  *
+ * The runnable cells are declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "mitigation_comparison"); the
+ * CLFLUSH-ban rows are definitional (the instruction simply does not
+ * exist in the binary) and rendered directly.
+ *
  * The table shows which defenses stop which attacks, and what each one
  * costs a benign memory-intensive workload. The paper's argument is the
  * last column: only ANVIL both stops everything and deploys on existing
  * hardware.
  */
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "harness.hh"
-#include "mitigations/hardware.hh"
+#include "common/table.hh"
+#include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-enum class Defense { kNone, kDoubleRefresh, kNoClflush, kPara, kTrr,
-                     kAnvil };
-
-const char *
-name_of(Defense defense)
-{
-    switch (defense) {
-      case Defense::kNone: return "none (64 ms refresh)";
-      case Defense::kDoubleRefresh: return "double refresh (32 ms)";
-      case Defense::kNoClflush: return "CLFLUSH disallowed";
-      case Defense::kPara: return "PARA (hardware)";
-      case Defense::kTrr: return "TRR (hardware)";
-      case Defense::kAnvil: return "ANVIL (software)";
-    }
-    return "?";
-}
-
-/** Runs one attack against one defense; true if any bit flipped. */
-bool
-attack_lands(Defense defense, const std::string &attack)
-{
-    // The CLFLUSH-restriction defense stops CLFLUSH attacks by
-    // construction (the binary cannot contain the instruction) — and is
-    // bypassed by construction by the CLFLUSH-free attack.
-    if (defense == Defense::kNoClflush)
-        return attack == "clflush-free";
-
-    mem::SystemConfig config;
-    if (defense == Defense::kDoubleRefresh)
-        config.dram.refresh_period = ms(32);
-    Testbed bed(config);
-
-    std::unique_ptr<mitigations::Para> para;
-    std::unique_ptr<mitigations::Trr> trr;
-    std::unique_ptr<detector::Anvil> anvil;
-    if (defense == Defense::kPara)
-        para = std::make_unique<mitigations::Para>(bed.machine.dram());
-    if (defense == Defense::kTrr)
-        trr = std::make_unique<mitigations::Trr>(bed.machine.dram());
-    if (defense == Defense::kAnvil) {
-        anvil = std::make_unique<detector::Anvil>(
-            bed.machine, bed.pmu, detector::AnvilConfig::baseline());
-        anvil->start();
-    }
-
-    std::unique_ptr<attack::Hammer> hammer;
-    std::uint32_t victim_row = 0;
-    if (attack == "single-sided") {
-        const auto target = bed.weakest_single_sided();
-        if (!target)
-            return false;
-        victim_row = target->aggressor_row + 1;
-        hammer = std::make_unique<attack::ClflushSingleSided>(
-            bed.machine, bed.attacker->pid(), *target);
-    } else if (attack == "double-sided") {
-        const auto target = bed.weakest_double_sided();
-        if (!target)
-            return false;
-        victim_row = target->victim_row;
-        hammer = std::make_unique<attack::ClflushDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target);
-    } else {
-        const auto target = bed.weakest_double_sided(true);
-        if (!target)
-            return false;
-        victim_row = target->victim_row;
-        hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target, bed.layout);
-    }
-    bed.align_to_refresh(victim_row);
-    return hammer->run(config.dram.refresh_period + ms(16)).flipped;
-}
-
-/** Benign (mcf) slowdown under the defense, vs the unprotected machine. */
-double
-benign_slowdown(Defense defense)
-{
-    if (defense == Defense::kNoClflush)
-        return 1.0;  // removing an instruction costs benign code nothing
-
-    auto run = [&](bool protect) {
-        mem::SystemConfig config;
-        if (protect && defense == Defense::kDoubleRefresh)
-            config.dram.refresh_period = ms(32);
-        mem::MemorySystem machine(config);
-        pmu::Pmu pmu(machine);
-        std::unique_ptr<mitigations::Para> para;
-        std::unique_ptr<mitigations::Trr> trr;
-        std::unique_ptr<detector::Anvil> anvil;
-        if (protect && defense == Defense::kPara)
-            para = std::make_unique<mitigations::Para>(machine.dram());
-        if (protect && defense == Defense::kTrr)
-            trr = std::make_unique<mitigations::Trr>(machine.dram());
-        if (protect && defense == Defense::kAnvil) {
-            anvil = std::make_unique<detector::Anvil>(
-                machine, pmu, detector::AnvilConfig::baseline());
-            anvil->start();
-        }
-        workload::Workload load(machine, workload::spec_profile("mcf"));
-        const Tick start = machine.now();
-        load.run_ops(1500000);
-        return machine.now() - start;
-    };
-    return static_cast<double>(run(true)) /
-           static_cast<double>(run(false));
-}
-
-}  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("mitigation_comparison").make(cli);
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
+    const double benign_base =
+        sink.scenario("benign/unprotected").value_mean("run_ms");
+    const auto slowdown = [&](const char *cell) {
+        const double t =
+            sink.scenario(std::string("benign/") + cell)
+                .value_mean("run_ms");
+        return benign_base > 0.0 ? t / benign_base : 0.0;
+    };
+
     TextTable table("Mitigation comparison: which defenses stop which "
                     "attacks, and at what cost");
     table.set_header({"Defense", "1-sided CLFLUSH", "2-sided CLFLUSH",
                       "2-sided CLFLUSH-free", "mcf slowdown",
                       "deployable on existing HW?"});
-    const Defense defenses[] = {Defense::kNone, Defense::kDoubleRefresh,
-                                Defense::kNoClflush, Defense::kPara,
-                                Defense::kTrr, Defense::kAnvil};
-    for (const Defense defense : defenses) {
-        std::vector<std::string> row{name_of(defense)};
+    const struct {
+        const char *display;
+        const char *cell;   ///< nullptr = the definitional CLFLUSH ban
+        const char *benign; ///< benign-slowdown cell
+        bool hardware;
+    } defenses[] = {
+        {"none (64 ms refresh)", "none", "unprotected", false},
+        {"double refresh (32 ms)", "double-refresh", "double-refresh",
+         false},
+        {"CLFLUSH disallowed", nullptr, nullptr, false},
+        {"PARA (hardware)", "para", "para", true},
+        {"TRR (hardware)", "trr", "trr", true},
+        {"ANVIL (software)", "anvil", "anvil", false},
+    };
+    for (const auto &defense : defenses) {
+        std::vector<std::string> row{defense.display};
         for (const char *attack :
              {"single-sided", "double-sided", "clflush-free"}) {
-            row.push_back(attack_lands(defense, attack) ? "FLIPPED"
-                                                        : "stopped");
+            bool lands;
+            if (defense.cell == nullptr) {
+                // Removing the instruction stops CLFLUSH attacks by
+                // construction and is bypassed by construction by the
+                // CLFLUSH-free attack.
+                lands = std::string(attack) == "clflush-free";
+            } else {
+                lands = sink.scenario(std::string(defense.cell) + "/" +
+                                      attack)
+                            .counter_sum("flipped") != 0;
+            }
+            row.push_back(lands ? "FLIPPED" : "stopped");
         }
-        row.push_back(TextTable::fmt(benign_slowdown(defense), 4));
-        const bool hardware = defense == Defense::kPara ||
-                              defense == Defense::kTrr;
-        row.push_back(hardware ? "no (new silicon)" : "yes");
+        row.push_back(TextTable::fmt(
+            defense.benign == nullptr ? 1.0 : slowdown(defense.benign),
+            4));
+        row.push_back(defense.hardware ? "no (new silicon)" : "yes");
         table.add_row(std::move(row));
     }
     table.print(std::cout);
@@ -165,5 +97,5 @@ main()
                  "eviction-based attack; hardware TRR/PARA work but do "
                  "not exist in deployed DRAM; ANVIL stops all three on "
                  "stock hardware for ~1-3 % overhead.\n";
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

@@ -6,6 +6,9 @@
  * CLFLUSH-free hammering — plus the Section 2.1 refresh-rate study
  * (32 ms and 16 ms refresh periods).
  *
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "table1_attacks").
+ *
  * Paper values (DDR3, Sandy Bridge i5-2540M):
  *   single-sided  CLFLUSH   400 K accesses   58 ms
  *   double-sided  CLFLUSH   220 K accesses   15 ms
@@ -15,95 +18,64 @@
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
+#include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
 
 namespace {
 
 struct AttackRow {
-    std::string technique;
     bool flipped = false;
     std::uint64_t accesses = 0;
     double flip_ms = 0.0;
 };
 
 AttackRow
-run_attack(const std::string &technique, Tick refresh_period)
+cell_result(runner::ResultSink &sink, const std::string &cell)
 {
-    mem::SystemConfig config;
-    config.dram.refresh_period = refresh_period;
-    Testbed bed(config);
-
-    std::unique_ptr<attack::Hammer> hammer;
-    std::uint32_t victim_row = 0;
-    if (technique == "single-sided") {
-        const auto target = bed.weakest_single_sided();
-        if (!target)
-            throw std::runtime_error("no single-sided target");
-        victim_row = target->aggressor_row + 1;
-        hammer = std::make_unique<attack::ClflushSingleSided>(
-            bed.machine, bed.attacker->pid(), *target);
-    } else if (technique == "double-sided") {
-        const auto target = bed.weakest_double_sided();
-        if (!target)
-            throw std::runtime_error("no double-sided target");
-        victim_row = target->victim_row;
-        hammer = std::make_unique<attack::ClflushDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target);
-    } else {  // clflush-free
-        const auto target = bed.weakest_double_sided(
-            /*require_slice_compatible=*/true);
-        if (!target)
-            throw std::runtime_error("no slice-compatible target");
-        victim_row = target->victim_row;
-        hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target, bed.layout);
-    }
-
-    // Phase-align so the trial measures pure hammering time within one
-    // clean refresh window of the victim (the paper's modules were
-    // characterized the same way: minimum accesses / time to flip).
-    bed.align_to_refresh(victim_row);
-    const attack::HammerResult result =
-        hammer->run(refresh_period + ms(16));
-
+    const runner::ScenarioAggregate &agg = sink.scenario(cell);
     AttackRow row;
-    row.technique = technique;
-    row.flipped = result.flipped;
-    row.accesses = result.aggressor_accesses;
-    row.flip_ms = to_ms(result.duration);
+    row.flipped = agg.counter_sum("flipped") != 0;
+    row.accesses = agg.counter_sum("aggressor_accesses");
+    row.flip_ms = agg.value_mean("flip_ms");
     return row;
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("table1_attacks").make(cli);
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
     TextTable table1(
         "Table 1: Rowhammer Attack Characteristics (64 ms refresh)");
     table1.set_header({"Hammer Technique", "Min DRAM Row Accesses",
                        "Time to First Bit Flip", "Paper"});
-    struct Spec {
-        const char *technique;
+    const struct {
+        const char *cell;
         const char *label;
         const char *paper;
+    } specs[] = {
+        {"single-sided/64ms", "Single-Sided with CLFLUSH", "400K / 58 ms"},
+        {"double-sided/64ms", "Double-Sided with CLFLUSH", "220K / 15 ms"},
+        {"clflush-free/64ms", "Double-Sided without CLFLUSH",
+         "220K / 45 ms"},
     };
-    const Spec specs[] = {
-        {"single-sided", "Single-Sided with CLFLUSH", "400K / 58 ms"},
-        {"double-sided", "Double-Sided with CLFLUSH", "220K / 15 ms"},
-        {"clflush-free", "Double-Sided without CLFLUSH", "220K / 45 ms"},
-    };
-    for (const Spec &spec : specs) {
-        const AttackRow row = run_attack(spec.technique, ms(64));
-        table1.add_row({spec.label,
+    for (const auto &s : specs) {
+        const AttackRow row = cell_result(sink, s.cell);
+        table1.add_row({s.label,
                         row.flipped ? TextTable::fmt_count(row.accesses)
                                     : "no flip",
                         row.flipped ? TextTable::fmt(row.flip_ms, 1) + " ms"
                                     : "-",
-                        spec.paper});
+                        s.paper});
     }
     table1.print(std::cout);
 
@@ -111,32 +83,31 @@ main()
         "Section 2.1 / 5.2.1: attacks vs. increased refresh rates");
     refresh.set_header({"Hammer Technique", "Refresh Period", "Outcome",
                         "Paper"});
-    struct Sweep {
-        const char *technique;
+    const struct {
+        const char *cell;
         const char *label;
         double period_ms;
         const char *paper;
-    };
-    const Sweep sweeps[] = {
-        {"double-sided", "Double-Sided with CLFLUSH", 32.0,
+    } sweeps[] = {
+        {"double-sided/32ms", "Double-Sided with CLFLUSH", 32.0,
          "flips (15 ms < 32 ms)"},
-        {"double-sided", "Double-Sided with CLFLUSH", 16.0,
+        {"double-sided/16ms", "Double-Sided with CLFLUSH", 16.0,
          "flips (Section 5.2.1)"},
-        {"single-sided", "Single-Sided with CLFLUSH", 32.0, "defeated"},
-        {"clflush-free", "Double-Sided without CLFLUSH", 32.0,
+        {"single-sided/32ms", "Single-Sided with CLFLUSH", 32.0,
+         "defeated"},
+        {"clflush-free/32ms", "Double-Sided without CLFLUSH", 32.0,
          "defeated (45 ms > 32 ms)"},
     };
-    for (const Sweep &sweep : sweeps) {
-        const AttackRow row = run_attack(sweep.technique,
-                                         ms(sweep.period_ms));
-        refresh.add_row({sweep.label,
-                         TextTable::fmt(sweep.period_ms, 0) + " ms",
+    for (const auto &s : sweeps) {
+        const AttackRow row = cell_result(sink, s.cell);
+        refresh.add_row({s.label,
+                         TextTable::fmt(s.period_ms, 0) + " ms",
                          row.flipped ? "FLIPPED at " +
                                            TextTable::fmt(row.flip_ms, 1) +
                                            " ms"
                                      : "no flip",
-                         sweep.paper});
+                         s.paper});
     }
     refresh.print(std::cout);
-    return 0;
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
 }

@@ -5,10 +5,13 @@
  * detect, selective refreshes per 64 ms, and total bit flips, for the
  * CLFLUSH and CLFLUSH-free attacks under light and heavy system load.
  *
- * Trials run on the parallel experiment runner (see runner/options.hh
- * for the shared CLI): every (scenario, trial) is an isolated machine
- * with seeds derived from the master seed, so `--jobs 8` produces
- * byte-identical aggregates to `--jobs 1`.
+ * The experiment itself is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "table3_detection"); this binary only
+ * renders the paper's tables. Trials run on the parallel experiment
+ * runner (see runner/options.hh for the shared CLI): every
+ * (scenario, trial) is an isolated machine with seeds derived from the
+ * master seed, so `--jobs 8` produces byte-identical aggregates to
+ * `--jobs 1`.
  *
  * Paper values:
  *   CLFLUSH      heavy load   12.8 ms   12.35 refreshes/64 ms   0 flips
@@ -18,89 +21,19 @@
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
 #include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-runner::TrialResult
-detection_trial(bool clflush_free, bool heavy_load,
-                const runner::TrialContext &ctx)
-{
-    mem::SystemConfig config;
-    config.vm_seed = ctx.seed_for("vm");
-    Testbed bed(config);
-    // Per-trial layout / refresh-phase variation.
-    bed.machine.advance(us(137) + ctx.seed_for("phase") % us(6000));
-
-    // Background load (the paper runs mcf + libquantum + omnetpp).
-    std::vector<std::unique_ptr<workload::Workload>> background;
-    if (heavy_load) {
-        for (const char *name : {"mcf", "libquantum", "omnetpp"}) {
-            workload::SpecProfile profile = workload::spec_profile(name);
-            profile.seed = ctx.seed_for(name);
-            background.push_back(std::make_unique<workload::Workload>(
-                bed.machine, profile));
-        }
-    }
-
-    detector::Anvil anvil(bed.machine, bed.pmu,
-                          detector::AnvilConfig::baseline());
-    anvil.set_ground_truth([] { return true; });
-    anvil.start();
-
-    // Let the detector free-run before the attack begins so the attack
-    // starts at an arbitrary (seed-chosen) window phase.
-    bed.machine.advance(ms(1) + ctx.seed_for("attack-phase") % us(4000));
-
-    std::unique_ptr<attack::Hammer> hammer;
-    if (clflush_free) {
-        const auto target = bed.weakest_double_sided(true);
-        if (!target)
-            throw std::runtime_error("no slice-compatible target");
-        hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target, bed.layout);
-    } else {
-        const auto target = bed.weakest_double_sided();
-        if (!target)
-            throw std::runtime_error("no double-sided target");
-        hammer = std::make_unique<attack::ClflushDoubleSided>(
-            bed.machine, bed.attacker->pid(), *target);
-    }
-
-    const Tick attack_start = bed.machine.now();
-    workload::Runner loads(bed.machine);
-    loads.add([&] { hammer->step(); });
-    for (auto &load : background)
-        loads.add([&] { load->step(); });
-    loads.run_for(ms(128));  // two refresh periods of attacking
-
-    runner::TrialResult r;
-    r.set_counter("flips", bed.machine.dram().flips().size());
-    r.set_counter("detections", anvil.stats().detections);
-    r.set_counter("selective_refreshes",
-                  anvil.stats().selective_refreshes);
-    r.set_value("attack_ms", to_ms(bed.machine.now() - attack_start));
-    if (!anvil.detections().empty()) {
-        r.set_value("detect_ms",
-                    to_ms(anvil.detections().front().time - attack_start));
-    }
-    r.set_anvil(anvil.stats());
-    r.set_dram(bed.machine.dram().stats());
-    return r;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
-    cli.sweep.name = "table3_detection";
-    const std::uint64_t trials = cli.trials_or(6);
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("table3_detection").make(cli);
 
     const detector::AnvilConfig config = detector::AnvilConfig::baseline();
     TextTable params("Table 2: Rowhammer Detector Parameters");
@@ -117,34 +50,22 @@ main(int argc, char **argv)
                     "5000/s (~30 per 6 ms)"});
     params.print(std::cout);
 
-    struct Scenario {
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
+    const struct {
         const char *label;
-        bool clflush_free;
-        bool heavy;
         const char *paper;
+    } rows[] = {
+        {"CLFLUSH (Heavy Load)", "12.8 ms / 12.35 / 0"},
+        {"CLFLUSH (Light Load)", "12.3 ms / 10.3 / 0"},
+        {"CLFLUSH-free (Heavy Load)", "35.3 ms / 4.53 / 0"},
+        {"CLFLUSH-free (Light Load)", "22.85 ms / 5.10 / 0"},
     };
-    const Scenario scenarios[] = {
-        {"CLFLUSH (Heavy Load)", false, true, "12.8 ms / 12.35 / 0"},
-        {"CLFLUSH (Light Load)", false, false, "12.3 ms / 10.3 / 0"},
-        {"CLFLUSH-free (Heavy Load)", true, true, "35.3 ms / 4.53 / 0"},
-        {"CLFLUSH-free (Light Load)", true, false, "22.85 ms / 5.10 / 0"},
-    };
-
-    runner::Sweep sweep(cli.sweep);
-    for (const Scenario &s : scenarios) {
-        sweep.add_scenario(
-            s.label, trials,
-            [s](const runner::TrialContext &ctx) {
-                return detection_trial(s.clflush_free, s.heavy, ctx);
-            });
-    }
-    runner::ResultSink sink = sweep.run();
-
     TextTable table3("Table 3: Rowhammer Detection Results");
     table3.set_header({"Benchmark", "Avg Time to Detect",
                        "Refreshes per 64 ms", "Total Bit Flips", "Paper"});
-    for (const Scenario &s : scenarios) {
-        const runner::ScenarioAggregate &agg = sink.scenario(s.label);
+    for (const auto &row : rows) {
+        const runner::ScenarioAggregate &agg = sink.scenario(row.label);
         const double avg_detect_ms = agg.value_mean("detect_ms", -1.0);
         const double attack_ms_total =
             agg.value_stat("attack_ms") != nullptr
@@ -156,13 +77,11 @@ main(int argc, char **argv)
             attack_ms_total > 0.0
                 ? static_cast<double>(refreshes) / (attack_ms_total / 64.0)
                 : 0.0;
-        sink.set_derived(s.label, "avg_detect_ms", avg_detect_ms);
-        sink.set_derived(s.label, "refreshes_per_64ms", per_64ms);
-        table3.add_row({s.label,
+        table3.add_row({row.label,
                         TextTable::fmt(avg_detect_ms, 1) + " ms",
                         TextTable::fmt(per_64ms, 2),
                         TextTable::fmt_count(agg.counter_sum("flips")),
-                        s.paper});
+                        row.paper});
     }
     table3.print(std::cout);
     return runner::write_json_output(sink, cli.sweep) ? 0 : 1;

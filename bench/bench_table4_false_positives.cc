@@ -4,9 +4,12 @@
  * of superfluous selective refreshes per second for the twelve SPEC2006
  * integer benchmarks running alone under ANVIL-baseline.
  *
- * The twelve benchmarks run as one parallel sweep (runner/options.hh
- * documents the shared CLI); the historical positional argument —
- * simulated seconds per benchmark — is kept.
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "table4_false_positives"); the twelve
+ * benchmarks run as one parallel sweep (runner/options.hh documents the
+ * shared CLI) with rate-boosted importance sampling of the rare
+ * conflict-thrash phases. The historical positional argument — simulated
+ * seconds per benchmark — is kept.
  *
  * Paper values (refreshes/sec): astar 0.10, bzip2 1.05, gcc 0.71,
  * gobmk 0.19, h264ref 0.00, hmmer 0.00, libquantum 0.06, mcf 0.01,
@@ -14,55 +17,12 @@
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
 #include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-/**
- * Measures the false-positive refresh rate with rate-boosted importance
- * sampling: the benchmarks' conflict-thrash phases are Poisson arrivals
- * at tenths-of-a-hertz, far too rare to observe in a few simulated
- * seconds, and each phase contributes independently to the FP count — so
- * the phase rate is boosted and the measured rate divided by the boost.
- */
-runner::TrialResult
-false_positive_trial(const std::string &name, Tick duration,
-                     const runner::TrialContext &ctx)
-{
-    mem::SystemConfig config;
-    config.vm_seed = ctx.seed_for("vm");
-    mem::MemorySystem machine(config);
-    pmu::Pmu pmu(machine);
-    detector::Anvil anvil(machine, pmu, detector::AnvilConfig::baseline());
-    anvil.set_ground_truth([] { return false; });
-    anvil.start();
-
-    workload::SpecProfile profile = workload::spec_profile(name);
-    profile.seed = ctx.seed_for("workload");
-    const double boost = boost_thrash_rate(profile);
-    workload::Workload load(machine, profile);
-    const Tick start = machine.now();
-    load.run_for(duration);
-    const double seconds = to_sec(machine.now() - start);
-
-    runner::TrialResult r;
-    r.set_value("fp_per_sec",
-                static_cast<double>(
-                    anvil.stats().false_positive_refreshes) /
-                    seconds / boost);
-    r.set_value("boost", boost);
-    r.set_counter("false_positive_refreshes",
-                  anvil.stats().false_positive_refreshes);
-    r.set_anvil(anvil.stats());
-    r.set_dram(machine.dram().stats());
-    return r;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
@@ -70,39 +30,28 @@ main(int argc, char **argv)
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv, "  positional: simulated seconds per benchmark "
                     "(default 3.0)");
-    cli.sweep.name = "table4_false_positives";
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("table4_false_positives").make(cli);
     // Longer runs give smoother rates; default is sized for a laptop.
     const double run_sec = cli.positional_double(0, 3.0);
-    const std::uint64_t trials = cli.trials_or(1);
 
-    struct Row {
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
+    const struct {
         const char *name;
         double paper;
-    };
-    const Row rows[] = {
+    } rows[] = {
         {"astar", 0.10},     {"bzip2", 1.05},      {"gcc", 0.71},
         {"gobmk", 0.19},     {"h264ref", 0.00},    {"hmmer", 0.00},
         {"libquantum", 0.06}, {"mcf", 0.01},       {"omnetpp", 0.02},
         {"perlbench", 0.00}, {"sjeng", 0.00},      {"xalancbmk", 0.05},
     };
-
-    runner::Sweep sweep(cli.sweep);
-    for (const Row &row : rows) {
-        const std::string name = row.name;
-        sweep.add_scenario(
-            name, trials,
-            [name, run_sec](const runner::TrialContext &ctx) {
-                return false_positive_trial(name, seconds(run_sec), ctx);
-            });
-    }
-    runner::ResultSink sink = sweep.run();
-
     TextTable table4("Table 4: Rate of False Positive Refreshes "
                      "(ANVIL-baseline, " +
                      TextTable::fmt(run_sec, 1) +
                      " s per benchmark, rate-boosted sampling)");
     table4.set_header({"Benchmark", "Refreshes/sec", "Paper"});
-    for (const Row &row : rows) {
+    for (const auto &row : rows) {
         const double rate = sink.scenario(row.name).value_mean("fp_per_sec");
         table4.add_row({row.name, TextTable::fmt(rate, 2),
                         TextTable::fmt(row.paper, 2)});

@@ -3,7 +3,9 @@
  * Reproduces **Table 5** — "Rate of False Positive Refreshes for
  * ANVIL-Heavy and ANVIL-Light" on the Figure-4 benchmark subset.
  *
- * The ten (benchmark, config) cells run as one parallel sweep (see
+ * The experiment is declared in the scenario catalog
+ * (src/scenario/catalog.cc, sweep "table5_fp_sensitivity"); the ten
+ * (benchmark, config) cells run as one parallel sweep (see
  * runner/options.hh for the shared CLI).
  *
  * Paper values (refreshes/sec, light / heavy): bzip2 1.61 / 1.09,
@@ -13,57 +15,12 @@
  */
 #include <iostream>
 
-#include "harness.hh"
+#include "common/table.hh"
 #include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
-
-namespace {
-
-/**
- * FP rate via rate-boosted importance sampling (see
- * bench_table4_false_positives.cc): thrash-phase arrivals are boosted to
- * an observable rate and the measurement divided by the boost.
- */
-runner::TrialResult
-false_positive_trial(const std::string &name,
-                     const detector::AnvilConfig &config, Tick duration,
-                     const runner::TrialContext &ctx)
-{
-    mem::SystemConfig machine_config;
-    machine_config.vm_seed = ctx.seed_for("vm");
-    mem::MemorySystem machine(machine_config);
-    pmu::Pmu pmu(machine);
-    detector::Anvil anvil(machine, pmu, config);
-    anvil.set_ground_truth([] { return false; });
-    anvil.start();
-
-    workload::SpecProfile profile = workload::spec_profile(name);
-    profile.seed = ctx.seed_for("workload");
-    const double boost = boost_thrash_rate(profile);
-    workload::Workload load(machine, profile);
-    const Tick start = machine.now();
-    load.run_for(duration);
-
-    runner::TrialResult r;
-    r.set_value("fp_per_sec",
-                static_cast<double>(
-                    anvil.stats().false_positive_refreshes) /
-                    to_sec(machine.now() - start) / boost);
-    r.set_counter("false_positive_refreshes",
-                  anvil.stats().false_positive_refreshes);
-    r.set_anvil(anvil.stats());
-    return r;
-}
-
-std::string
-cell_name(const char *benchmark, const char *config)
-{
-    return std::string(benchmark) + "/" + config;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
@@ -71,54 +28,32 @@ main(int argc, char **argv)
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv,
         "  positional: simulated seconds per cell (default 3.0)");
-    cli.sweep.name = "table5_fp_sensitivity";
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("table5_fp_sensitivity").make(cli);
     const double run_sec = cli.positional_double(0, 3.0);
-    const std::uint64_t trials = cli.trials_or(1);
 
-    struct Row {
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+
+    const struct {
         const char *name;
         double paper_light;
         double paper_heavy;
-    };
-    const Row rows[] = {
+    } rows[] = {
         {"bzip2", 1.61, 1.09},      {"gcc", 7.12, 1.88},
         {"gobmk", 0.28, 0.84},      {"libquantum", 0.13, 0.08},
         {"perlbench", 0.06, 0.00},
     };
-    const struct {
-        const char *label;
-        detector::AnvilConfig config;
-    } configs[] = {
-        {"light", detector::AnvilConfig::light()},
-        {"heavy", detector::AnvilConfig::heavy()},
-    };
-
-    runner::Sweep sweep(cli.sweep);
-    for (const Row &row : rows) {
-        for (const auto &c : configs) {
-            const std::string name = row.name;
-            const detector::AnvilConfig config = c.config;
-            sweep.add_scenario(
-                cell_name(row.name, c.label), trials,
-                [name, config, run_sec](const runner::TrialContext &ctx) {
-                    return false_positive_trial(name, config,
-                                                seconds(run_sec), ctx);
-                });
-        }
-    }
-    runner::ResultSink sink = sweep.run();
-
     TextTable table5("Table 5: False positive refreshes/sec under "
                      "ANVIL-light and ANVIL-heavy (" +
                      TextTable::fmt(run_sec, 1) + " s per cell)");
     table5.set_header({"Benchmark", "ANVIL-light", "ANVIL-heavy",
                        "Paper (light / heavy)"});
-    for (const Row &row : rows) {
+    for (const auto &row : rows) {
         const double light =
-            sink.scenario(cell_name(row.name, "light"))
+            sink.scenario(std::string(row.name) + "/light")
                 .value_mean("fp_per_sec");
         const double heavy =
-            sink.scenario(cell_name(row.name, "heavy"))
+            sink.scenario(std::string(row.name) + "/heavy")
                 .value_mean("fp_per_sec");
         table5.add_row({row.name, TextTable::fmt(light, 2),
                         TextTable::fmt(heavy, 2),

@@ -21,10 +21,12 @@
 #include <string>
 #include <vector>
 
-#include "harness.hh"
+#include "anvil/anvil.hh"
+#include "scenario/testbed.hh"
+#include "workload/workload.hh"
 
 using namespace anvil;
-using namespace anvil::bench;
+using anvil::scenario::Testbed;
 
 namespace {
 

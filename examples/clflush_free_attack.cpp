@@ -15,8 +15,8 @@
 #include <cstdio>
 
 #include "attack/hammer.hh"
-#include "attack/memory_layout.hh"
 #include "mem/memory_system.hh"
+#include "scenario/testbed.hh"
 
 using namespace anvil;
 
@@ -32,14 +32,12 @@ main()
                 config.dram.total_banks(), config.cache.llc_ways);
 
     // -- Stage 1: buffer + pagemap ---------------------------------------
-    mem::AddressSpace &attacker = machine.create_process();
-    const std::uint64_t buffer_bytes = 64ULL << 20;
-    const Addr buffer = attacker.mmap(buffer_bytes);
-    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
-                                machine.hierarchy());
-    layout.scan(buffer, buffer_bytes);
+    scenario::Attacker intruder(machine);
+    mem::AddressSpace &attacker = *intruder.space;
+    attack::MemoryLayout &layout = intruder.layout;
     std::printf("mapped %llu MB, scanned %zu pages via pagemap\n",
-                static_cast<unsigned long long>(buffer_bytes >> 20),
+                static_cast<unsigned long long>(
+                    scenario::Attacker::kBufferBytes >> 20),
                 layout.pages_scanned());
 
     // -- Stage 2: find a double-sided target ------------------------------

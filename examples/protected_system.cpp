@@ -9,9 +9,9 @@
 
 #include "anvil/anvil.hh"
 #include "attack/hammer.hh"
-#include "attack/memory_layout.hh"
 #include "mem/memory_system.hh"
 #include "pmu/pmu.hh"
+#include "scenario/testbed.hh"
 #include "workload/workload.hh"
 
 using namespace anvil;
@@ -53,17 +53,13 @@ main()
 
     // An attacker process appears.
     std::printf("\n-- phase 2: CLFLUSH rowhammer attack joins (200 ms) --\n");
-    mem::AddressSpace &attacker = machine.create_process();
-    const Addr buffer = attacker.mmap(64ULL << 20);
-    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
-                                machine.hierarchy());
-    layout.scan(buffer, 64ULL << 20);
-    const auto targets = layout.find_double_sided_targets(4);
+    scenario::Attacker intruder(machine);
+    const auto targets = intruder.layout.find_double_sided_targets(4);
     if (targets.empty()) {
         std::printf("no targets found\n");
         return 1;
     }
-    attack::ClflushDoubleSided hammer(machine, attacker.pid(),
+    attack::ClflushDoubleSided hammer(machine, intruder.space->pid(),
                                       targets.front());
     workload::Runner mixed(machine);
     mixed.add([&] { hammer.step(); });

@@ -12,9 +12,9 @@
 
 #include "anvil/anvil.hh"
 #include "attack/hammer.hh"
-#include "attack/memory_layout.hh"
 #include "mem/memory_system.hh"
 #include "pmu/pmu.hh"
+#include "scenario/testbed.hh"
 
 using namespace anvil;
 
@@ -31,13 +31,9 @@ campaign(const char *label, bool protect)
 
     // The attacker: one process that maps a 64 MB buffer and scans it
     // through /proc/pagemap for aggressor/victim row triples.
-    mem::AddressSpace &attacker = machine.create_process();
-    const Addr buffer = attacker.mmap(64ULL << 20);
-    attack::MemoryLayout layout(attacker, machine.dram().address_map(),
-                                machine.hierarchy());
-    layout.scan(buffer, 64ULL << 20);
+    scenario::Attacker intruder(machine);
 
-    const auto targets = layout.find_double_sided_targets(16);
+    const auto targets = intruder.layout.find_double_sided_targets(16);
     if (targets.empty()) {
         std::printf("no double-sided targets found\n");
         return;
@@ -51,7 +47,8 @@ campaign(const char *label, bool protect)
     std::printf("== %s ==\n", label);
     std::uint64_t total_flips = 0;
     for (const auto &target : targets) {
-        attack::ClflushDoubleSided hammer(machine, attacker.pid(), target);
+        attack::ClflushDoubleSided hammer(machine, intruder.space->pid(),
+                                          target);
         const attack::HammerResult result = hammer.run(ms(80));
         total_flips += result.flips.size();
         std::printf(

@@ -12,10 +12,10 @@
 
 #include "anvil/anvil.hh"
 #include "attack/hammer.hh"
-#include "attack/memory_layout.hh"
 #include "common/table.hh"
 #include "mem/memory_system.hh"
 #include "pmu/pmu.hh"
+#include "scenario/testbed.hh"
 #include "workload/workload.hh"
 
 using namespace anvil;
@@ -40,16 +40,12 @@ evaluate(const detector::AnvilConfig &config)
         pmu::Pmu pmu(machine);
         detector::Anvil anvil(machine, pmu, config);
         anvil.start();
-        mem::AddressSpace &attacker = machine.create_process();
-        const Addr buffer = attacker.mmap(64ULL << 20);
-        attack::MemoryLayout layout(attacker,
-                                    machine.dram().address_map(),
-                                    machine.hierarchy());
-        layout.scan(buffer, 64ULL << 20);
-        const auto targets = layout.find_double_sided_targets(4);
+        scenario::Attacker intruder(machine);
+        const auto targets =
+            intruder.layout.find_double_sided_targets(4);
         if (!targets.empty()) {
-            attack::ClflushDoubleSided hammer(machine, attacker.pid(),
-                                              targets.front());
+            attack::ClflushDoubleSided hammer(
+                machine, intruder.space->pid(), targets.front());
             const Tick start = machine.now();
             const auto result = hammer.run(ms(96));
             point.flipped = result.flipped;

@@ -1,0 +1,371 @@
+#include "scenario/builder.hh"
+
+#include <stdexcept>
+
+#include "runner/sweep.hh"
+#include "workload/profile.hh"
+
+namespace anvil::scenario {
+namespace {
+
+/** Builds one attacker on the testbed (target selection + kernel). */
+BuiltAttack
+build_attack(const AttackSpec &spec, Testbed &bed)
+{
+    BuiltAttack built;
+    built.kind = spec.kind;
+    switch (spec.kind) {
+      case AttackKind::kClflushSingleSided: {
+          const auto target = bed.weakest_single_sided();
+          if (!target)
+              throw std::runtime_error("no single-sided target");
+          built.flat_bank = target->flat_bank;
+          built.victim_row = target->aggressor_row + 1;
+          built.hammer = std::make_unique<attack::ClflushSingleSided>(
+              bed.machine, bed.attacker->pid(), *target);
+          break;
+      }
+      case AttackKind::kClflushDoubleSided: {
+          const auto target = bed.weakest_double_sided();
+          if (!target)
+              throw std::runtime_error("no double-sided target");
+          built.flat_bank = target->flat_bank;
+          built.victim_row = target->victim_row;
+          built.hammer = std::make_unique<attack::ClflushDoubleSided>(
+              bed.machine, bed.attacker->pid(), *target);
+          break;
+      }
+      case AttackKind::kClflushFreeDoubleSided: {
+          const auto target = bed.weakest_double_sided(
+              /*require_slice_compatible=*/true);
+          if (!target)
+              throw std::runtime_error("no slice-compatible target");
+          built.flat_bank = target->flat_bank;
+          built.victim_row = target->victim_row;
+          built.hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
+              bed.machine, bed.attacker->pid(), *target, bed.layout);
+          break;
+      }
+    }
+    return built;
+}
+
+}  // namespace
+
+ScenarioBuilder::ScenarioBuilder(const ScenarioSpec &spec,
+                                 const runner::TrialContext &ctx)
+    : spec_(spec), ctx_(ctx)
+{
+}
+
+Tick
+ScenarioBuilder::draw(const PhaseJitter &jitter) const
+{
+    Tick t = jitter.base;
+    if (jitter.jitter != 0)
+        t += ctx_.seed_for(jitter.stream) % jitter.jitter;
+    return t;
+}
+
+Execution &
+ScenarioBuilder::build()
+{
+    exec_ = std::make_unique<Execution>();
+    Execution &e = *exec_;
+
+    e.config_ = spec_.system;
+    if (spec_.seed_vm_from_trial)
+        e.config_.vm_seed = ctx_.seed_for("vm");
+
+    if (!spec_.attacks.empty()) {
+        e.bed_ = std::make_unique<Testbed>(e.config_);
+    } else {
+        e.machine_ = std::make_unique<mem::MemorySystem>(e.config_);
+        e.pmu_ = std::make_unique<pmu::Pmu>(*e.machine_);
+    }
+
+    switch (spec_.mitigation) {
+      case Mitigation::kNone:
+          break;
+      case Mitigation::kPara:
+          e.para_ = std::make_unique<mitigations::Para>(e.machine().dram());
+          break;
+      case Mitigation::kTrr:
+          e.trr_ = std::make_unique<mitigations::Trr>(e.machine().dram());
+          break;
+    }
+
+    if (!spec_.pre_detector.empty())
+        e.machine().advance(draw(spec_.pre_detector));
+
+    const auto build_workloads = [&] {
+        for (const WorkloadSpec &ws : spec_.workloads) {
+            workload::SpecProfile profile =
+                workload::spec_profile(ws.profile);
+            if (!ws.seed_stream.empty())
+                profile.seed = ctx_.seed_for(ws.seed_stream);
+            if (ws.boost_thrash)
+                e.boost_ *= boost_thrash_rate(profile);
+            e.workloads_.push_back(
+                std::make_unique<workload::Workload>(e.machine(),
+                                                     profile));
+        }
+    };
+    const auto build_detector = [&] {
+        if (!spec_.detector)
+            return;
+        e.anvil_ = std::make_unique<detector::Anvil>(e.machine(), e.pmu(),
+                                                     *spec_.detector);
+        if (spec_.ground_truth == GroundTruth::kAttackLifetime) {
+            // The oracle is scoped to the attack's actual lifetime: a
+            // detection fired during the free-run window (before the
+            // hammer starts) is labeled a false positive.
+            Execution *exec = &e;
+            e.anvil_->set_ground_truth(
+                [exec] { return exec->attack_active_; });
+        }
+        // Starting the detector charges the first stage-1 check to the
+        // simulated clock, so order relative to workload construction is
+        // observable (spec.detector_before_workloads).
+        e.anvil_->start();
+    };
+    if (spec_.detector_before_workloads) {
+        build_detector();
+        build_workloads();
+    } else {
+        build_workloads();
+        build_detector();
+    }
+
+    if (!spec_.pre_attack.empty())
+        e.machine().advance(draw(spec_.pre_attack));
+
+    for (const AttackSpec &as : spec_.attacks)
+        e.attacks_.push_back(build_attack(as, *e.bed_));
+
+    return e;
+}
+
+void
+ScenarioBuilder::run()
+{
+    Execution &e = *exec_;
+    e.run_start_ = e.machine().now();
+    e.attack_start_ = e.run_start_;
+    e.attack_active_ = !e.attacks_.empty();
+
+    switch (spec_.run.mode) {
+      case RunMode::kInterleaveFor: {
+          if (e.attacks_.empty() && e.workloads_.size() == 1) {
+              e.workloads_[0]->run_for(spec_.run.duration);
+              break;
+          }
+          workload::Runner drivers(e.machine());
+          for (BuiltAttack &attack : e.attacks_) {
+              attack::Hammer *hammer = attack.hammer.get();
+              drivers.add([hammer] { hammer->step(); });
+          }
+          for (auto &load : e.workloads_) {
+              workload::Workload *w = load.get();
+              drivers.add([w] { w->step(); });
+          }
+          drivers.run_for(spec_.run.duration);
+          break;
+      }
+      case RunMode::kWorkloadOps: {
+          for (auto &load : e.workloads_)
+              load->run_ops(spec_.run.ops);
+          break;
+      }
+      case RunMode::kHammerToFirstFlip: {
+          BuiltAttack &attack = e.attacks_.at(0);
+          // Phase-align so the trial measures pure hammering time within
+          // one clean refresh window of the victim.
+          e.bed_->align_to_refresh(attack.victim_row);
+          e.hammer_result_ = attack.hammer->run(
+              e.config_.dram.refresh_period + spec_.run.duration);
+          break;
+      }
+      case RunMode::kHammerUntilFlipOrDeadline: {
+          BuiltAttack &attack = e.attacks_.at(0);
+          const Tick deadline = e.machine().now() + spec_.run.duration;
+          while (e.machine().now() < deadline &&
+                 e.machine().dram().flips().empty()) {
+              attack.hammer->step();
+              if (spec_.run.step_gap != 0)
+                  e.machine().advance(spec_.run.step_gap);
+          }
+          break;
+      }
+      case RunMode::kPatternMeasure: {
+          BuiltAttack &attack = e.attacks_.at(0);
+          for (std::uint64_t i = 0; i < spec_.run.warmup_iterations; ++i)
+              attack.hammer->step();  // reach steady state
+
+          const auto llc_before = e.machine().hierarchy().llc_stats();
+          const std::uint64_t acts_before =
+              e.machine().dram().bank(attack.flat_bank).activations();
+          const std::uint64_t dram_before =
+              e.machine().dram().stats().accesses;
+          const Tick t0 = e.machine().now();
+          const std::uint64_t iterations = spec_.run.iterations;
+          for (std::uint64_t i = 0; i < iterations; ++i)
+              attack.hammer->step();
+          const auto llc_after = e.machine().hierarchy().llc_stats();
+
+          PatternStats &p = e.pattern_;
+          p.misses_per_iteration =
+              static_cast<double>(llc_after.misses - llc_before.misses) /
+              static_cast<double>(iterations);
+          p.accesses_per_iteration =
+              static_cast<double>(llc_after.accesses -
+                                  llc_before.accesses) /
+              static_cast<double>(iterations);
+          p.ns_per_iteration = to_ns(e.machine().now() - t0) /
+                               static_cast<double>(iterations);
+          p.cycles_per_iteration =
+              p.ns_per_iteration * e.machine().core().freq_ghz();
+          p.hammers_per_refresh = 64e6 / p.ns_per_iteration;
+          const double aggressor_acts = static_cast<double>(
+              e.machine().dram().bank(attack.flat_bank).activations() -
+              acts_before);
+          const double dram_accesses = static_cast<double>(
+              e.machine().dram().stats().accesses - dram_before);
+          p.aggressor_activation_share =
+              dram_accesses > 0 ? aggressor_acts / dram_accesses : 0.0;
+          break;
+      }
+    }
+
+    e.attack_active_ = false;
+    e.run_seconds_ = to_sec(e.machine().now() - e.run_start_);
+}
+
+runner::TrialResult
+ScenarioBuilder::emit() const
+{
+    const Execution &e = *exec_;
+    runner::TrialResult r;
+    for (const Output output : spec_.outputs) {
+        switch (output) {
+          case Output::kFlips:
+              r.set_counter("flips", e.bed_->machine.dram().flips().size());
+              break;
+          case Output::kDetections:
+              r.set_counter("detections", e.anvil_->stats().detections);
+              break;
+          case Output::kSelectiveRefreshes:
+              r.set_counter("selective_refreshes",
+                            e.anvil_->stats().selective_refreshes);
+              break;
+          case Output::kAttackMs:
+              r.set_value("attack_ms",
+                          to_ms(e.bed_->machine.now() - e.attack_start_));
+              break;
+          case Output::kDetectMs:
+              if (!e.anvil_->detections().empty()) {
+                  r.set_value("detect_ms",
+                              to_ms(e.anvil_->detections().front().time -
+                                    e.attack_start_));
+              }
+              break;
+          case Output::kFpPerSec:
+              r.set_value(
+                  "fp_per_sec",
+                  static_cast<double>(
+                      e.anvil_->stats().false_positive_refreshes) /
+                      e.run_seconds_ / e.boost_);
+              break;
+          case Output::kBoost:
+              r.set_value("boost", e.boost_);
+              break;
+          case Output::kFalsePositiveRefreshes:
+              r.set_counter("false_positive_refreshes",
+                            e.anvil_->stats().false_positive_refreshes);
+              break;
+          case Output::kRunMs: {
+              auto &machine = const_cast<Execution &>(e).machine();
+              r.set_value("run_ms", to_ms(machine.now() - e.run_start_));
+              break;
+          }
+          case Output::kOps:
+              r.set_counter("ops", spec_.run.ops);
+              break;
+          case Output::kFlipped:
+              r.set_counter("flipped", e.hammer_result_.flipped ? 1 : 0);
+              break;
+          case Output::kAggressorAccesses:
+              r.set_counter("aggressor_accesses",
+                            e.hammer_result_.aggressor_accesses);
+              break;
+          case Output::kFlipMs:
+              r.set_value("flip_ms", to_ms(e.hammer_result_.duration));
+              break;
+          case Output::kMissesPerIter:
+              r.set_value("misses_per_iter",
+                          e.pattern_.misses_per_iteration);
+              break;
+          case Output::kAccessesPerIter:
+              r.set_value("accesses_per_iter",
+                          e.pattern_.accesses_per_iteration);
+              break;
+          case Output::kNsPerIter:
+              r.set_value("ns_per_iter", e.pattern_.ns_per_iteration);
+              break;
+          case Output::kCyclesPerIter:
+              r.set_value("cycles_per_iter",
+                          e.pattern_.cycles_per_iteration);
+              break;
+          case Output::kHammersPerRefresh:
+              r.set_value("hammers_per_refresh",
+                          e.pattern_.hammers_per_refresh);
+              break;
+          case Output::kAggressorActShare:
+              r.set_value("aggressor_act_share",
+                          e.pattern_.aggressor_activation_share);
+              break;
+          case Output::kAnvilStats:
+              if (e.anvil_)
+                  r.set_anvil(e.anvil_->stats());
+              break;
+          case Output::kDramStats: {
+              auto &machine = const_cast<Execution &>(e).machine();
+              r.set_dram(machine.dram().stats());
+              break;
+          }
+        }
+    }
+    return r;
+}
+
+runner::TrialResult
+ScenarioBuilder::run_trial(const ScenarioSpec &spec,
+                           const runner::TrialContext &ctx)
+{
+    ScenarioBuilder builder(spec, ctx);
+    builder.build();
+    builder.run();
+    return builder.emit();
+}
+
+runner::ResultSink
+run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
+{
+    cli.sweep.name = spec.name;
+    runner::Sweep sweep(cli.sweep);
+    for (const ScenarioSpec &cell : spec.cells) {
+        const std::uint64_t trials =
+            cell.fixed_trials != 0 ? cell.fixed_trials
+                                   : cli.trials_or(spec.default_trials);
+        sweep.add_scenario(cell.name, trials,
+                           [cell](const runner::TrialContext &ctx) {
+                               return ScenarioBuilder::run_trial(cell, ctx);
+                           });
+    }
+    runner::ResultSink sink = sweep.run();
+    if (spec.finalize)
+        spec.finalize(sink);
+    return sink;
+}
+
+}  // namespace anvil::scenario

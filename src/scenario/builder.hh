@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ScenarioBuilder: instantiates a declarative ScenarioSpec into a running
+ * testbed and executes it as one runner trial.
+ *
+ * The build order is fixed and deliberate — it reproduces, step for
+ * step, the construction sequence the hand-written experiments used, so
+ * migrated scenarios stay bit-identical for a fixed trial seed:
+ *
+ *   1. machine (Testbed when the scenario has attackers) with the
+ *      trial's "vm" sub-stream seeding the page allocator;
+ *   2. hardware mitigation attached to the DRAM device;
+ *   3. pre-detector clock advance (layout/refresh-phase jitter);
+ *   4. benign workloads (each seeded from its named sub-stream);
+ *   5. detector + ground-truth oracle + start;
+ *   6. free-run advance (the attack starts at a seed-chosen phase);
+ *   7. attack target selection and hammer construction.
+ *
+ * Ground-truth labeling: the builder installs an oracle that returns
+ * true exactly while the run phase's attack is in flight, so a detection
+ * fired outside the attack window (e.g. during the free run) counts as
+ * a false positive.
+ */
+#ifndef ANVIL_SCENARIO_BUILDER_HH
+#define ANVIL_SCENARIO_BUILDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "anvil/anvil.hh"
+#include "attack/hammer.hh"
+#include "mitigations/hardware.hh"
+#include "runner/options.hh"
+#include "runner/result_sink.hh"
+#include "runner/trial.hh"
+#include "scenario/spec.hh"
+#include "scenario/testbed.hh"
+#include "workload/workload.hh"
+
+namespace anvil::scenario {
+
+/** One instantiated attacker: the hammer kernel plus its target. */
+struct BuiltAttack {
+    AttackKind kind = AttackKind::kClflushDoubleSided;
+    std::unique_ptr<attack::Hammer> hammer;
+    std::uint32_t flat_bank = 0;
+    std::uint32_t victim_row = 0;
+};
+
+/** Per-iteration cost model measured by RunMode::kPatternMeasure. */
+struct PatternStats {
+    double misses_per_iteration = 0.0;
+    double accesses_per_iteration = 0.0;
+    double ns_per_iteration = 0.0;
+    double cycles_per_iteration = 0.0;
+    double hammers_per_refresh = 0.0;
+    double aggressor_activation_share = 0.0;
+};
+
+/**
+ * A spec instantiated into live components. Owned by the builder; tests
+ * may drive the machine between build() and run() (e.g. to fire a
+ * detection outside the attack window).
+ */
+class Execution
+{
+  public:
+    mem::MemorySystem &
+    machine()
+    {
+        return bed_ ? bed_->machine : *machine_;
+    }
+    pmu::Pmu &
+    pmu()
+    {
+        return bed_ ? bed_->pmu : *pmu_;
+    }
+    /** The attacker-carrying testbed; nullptr for attack-free scenarios. */
+    Testbed *testbed() { return bed_.get(); }
+    /** The detector; nullptr when the scenario runs unprotected. */
+    detector::Anvil *anvil() { return anvil_.get(); }
+    std::vector<BuiltAttack> &attacks() { return attacks_; }
+    std::vector<std::unique_ptr<workload::Workload>> &
+    workloads()
+    {
+        return workloads_;
+    }
+
+    /** True exactly while the run phase's attack is hammering. */
+    bool attack_active() const { return attack_active_; }
+    Tick attack_start() const { return attack_start_; }
+    double boost() const { return boost_; }
+    const PatternStats &pattern() const { return pattern_; }
+
+  private:
+    friend class ScenarioBuilder;
+
+    mem::SystemConfig config_;
+    std::unique_ptr<Testbed> bed_;              ///< when attacks exist
+    std::unique_ptr<mem::MemorySystem> machine_;  ///< otherwise
+    std::unique_ptr<pmu::Pmu> pmu_;
+    std::unique_ptr<mitigations::Para> para_;
+    std::unique_ptr<mitigations::Trr> trr_;
+    std::vector<std::unique_ptr<workload::Workload>> workloads_;
+    double boost_ = 1.0;
+    std::unique_ptr<detector::Anvil> anvil_;
+    std::vector<BuiltAttack> attacks_;
+
+    bool attack_active_ = false;
+    Tick attack_start_ = 0;
+    Tick run_start_ = 0;
+    double run_seconds_ = 0.0;
+    attack::HammerResult hammer_result_;
+    PatternStats pattern_;
+};
+
+/** Instantiates and executes one ScenarioSpec as one trial. */
+class ScenarioBuilder
+{
+  public:
+    ScenarioBuilder(const ScenarioSpec &spec,
+                    const runner::TrialContext &ctx);
+
+    /**
+     * Builds the machine, workloads, detector, and attacks in the fixed
+     * order documented above. @throw std::runtime_error when a required
+     * attack target does not exist in the scanned buffer.
+     */
+    Execution &build();
+
+    /** Executes the run phase per the spec's RunSpec. @pre build() ran. */
+    void run();
+
+    /** Emits the spec's outputs, in order. @pre run() ran. */
+    runner::TrialResult emit() const;
+
+    /** build() + run() + emit() — the TrialFn body of every scenario. */
+    static runner::TrialResult run_trial(const ScenarioSpec &spec,
+                                         const runner::TrialContext &ctx);
+
+  private:
+    Tick draw(const PhaseJitter &jitter) const;
+
+    const ScenarioSpec &spec_;
+    const runner::TrialContext &ctx_;
+    std::unique_ptr<Execution> exec_;
+};
+
+/**
+ * Runs a whole SweepSpec on the parallel experiment runner with the
+ * shared CLI options (--jobs/--master-seed/--trials/--replay-trial),
+ * applying per-cell fixed trial counts and the sweep's finalize hook.
+ * Sets cli.sweep.name to the sweep's name. Both the per-table bench
+ * binaries and the anvil-sim driver funnel through here, so their
+ * anvil-sweep-v1 JSON is identical.
+ */
+runner::ResultSink run_sweep(const SweepSpec &spec,
+                             runner::CliOptions &cli);
+
+}  // namespace anvil::scenario
+
+#endif  // ANVIL_SCENARIO_BUILDER_HH

@@ -1,0 +1,554 @@
+/**
+ * @file
+ * The paper catalog: every table/figure of the ANVIL evaluation as a
+ * registered SweepSpec factory. Each factory transcribes the exact cell
+ * grid, seed streams, phase jitter, run mode, and output list its
+ * hand-written bench used, so a migrated bench (or the anvil-sim driver)
+ * reproduces the historical JSON byte for byte for a fixed master seed.
+ */
+#include <string>
+
+#include "cache/replacement.hh"
+#include "runner/options.hh"
+#include "runner/result_sink.hh"
+#include "scenario/registry.hh"
+#include "workload/profile.hh"
+
+namespace anvil::scenario {
+namespace {
+
+constexpr const char *kTable3Cells[] = {
+    "CLFLUSH (Heavy Load)",
+    "CLFLUSH (Light Load)",
+    "CLFLUSH-free (Heavy Load)",
+    "CLFLUSH-free (Light Load)",
+};
+
+SweepFactory
+table3_detection()
+{
+    return {
+        "table3_detection",
+        "Table 2/3: detection latency, selective refreshes, and bit flips "
+        "for CLFLUSH and CLFLUSH-free attacks under light and heavy load",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "table3_detection";
+            sweep.default_trials = 6;
+            struct Cell {
+                const char *label;
+                bool clflush_free;
+                bool heavy;
+            };
+            const Cell cells[] = {
+                {kTable3Cells[0], false, true},
+                {kTable3Cells[1], false, false},
+                {kTable3Cells[2], true, true},
+                {kTable3Cells[3], true, false},
+            };
+            for (const Cell &cell : cells) {
+                ScenarioSpec s;
+                s.name = cell.label;
+                // Per-trial layout / refresh-phase variation.
+                s.pre_detector = {us(137), us(6000), "phase"};
+                if (cell.heavy) {
+                    // The paper runs mcf + libquantum + omnetpp.
+                    for (const char *name :
+                         {"mcf", "libquantum", "omnetpp"}) {
+                        s.workloads.push_back({name, name, false});
+                    }
+                }
+                s.detector = detector::AnvilConfig::baseline();
+                // Let the detector free-run before the attack begins so
+                // the attack starts at an arbitrary window phase.
+                s.pre_attack = {ms(1), us(4000), "attack-phase"};
+                s.attacks = {
+                    {cell.clflush_free
+                         ? AttackKind::kClflushFreeDoubleSided
+                         : AttackKind::kClflushDoubleSided}};
+                s.run.mode = RunMode::kInterleaveFor;
+                s.run.duration = ms(128);  // two refresh periods
+                s.outputs = {Output::kFlips,
+                             Output::kDetections,
+                             Output::kSelectiveRefreshes,
+                             Output::kAttackMs,
+                             Output::kDetectMs,
+                             Output::kAnvilStats,
+                             Output::kDramStats};
+                sweep.cells.push_back(std::move(s));
+            }
+            sweep.finalize = [](runner::ResultSink &sink) {
+                for (const char *label : kTable3Cells) {
+                    const runner::ScenarioAggregate &agg =
+                        sink.scenario(label);
+                    const double avg_detect_ms =
+                        agg.value_mean("detect_ms", -1.0);
+                    const double attack_ms_total =
+                        agg.value_stat("attack_ms") != nullptr
+                            ? agg.value_stat("attack_ms")->sum()
+                            : 0.0;
+                    const std::uint64_t refreshes =
+                        agg.counter_sum("selective_refreshes");
+                    const double per_64ms =
+                        attack_ms_total > 0.0
+                            ? static_cast<double>(refreshes) /
+                                  (attack_ms_total / 64.0)
+                            : 0.0;
+                    sink.set_derived(label, "avg_detect_ms",
+                                     avg_detect_ms);
+                    sink.set_derived(label, "refreshes_per_64ms",
+                                     per_64ms);
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
+/** Shared shape of the Table 4 / Table 5 FP-rate cells. */
+ScenarioSpec
+false_positive_cell(std::string name, const std::string &benchmark,
+                    const detector::AnvilConfig &config, double run_sec)
+{
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.workloads = {{benchmark, "workload", /*boost_thrash=*/true}};
+    s.detector_before_workloads = true;
+    s.detector = config;
+    s.run.mode = RunMode::kInterleaveFor;
+    s.run.duration = seconds(run_sec);
+    return s;
+}
+
+SweepFactory
+table4_false_positives()
+{
+    return {
+        "table4_false_positives",
+        "Table 4: false-positive refresh rate of the twelve SPEC2006 "
+        "integer benchmarks under ANVIL-baseline",
+        "[run_seconds]",
+        [](const runner::CliOptions &cli) {
+            const double run_sec = cli.positional_double(0, 3.0);
+            SweepSpec sweep;
+            sweep.name = "table4_false_positives";
+            sweep.default_trials = 1;
+            for (const char *name :
+                 {"astar", "bzip2", "gcc", "gobmk", "h264ref", "hmmer",
+                  "libquantum", "mcf", "omnetpp", "perlbench", "sjeng",
+                  "xalancbmk"}) {
+                ScenarioSpec s = false_positive_cell(
+                    name, name, detector::AnvilConfig::baseline(),
+                    run_sec);
+                s.outputs = {Output::kFpPerSec, Output::kBoost,
+                             Output::kFalsePositiveRefreshes,
+                             Output::kAnvilStats, Output::kDramStats};
+                sweep.cells.push_back(std::move(s));
+            }
+            return sweep;
+        },
+    };
+}
+
+SweepFactory
+table5_fp_sensitivity()
+{
+    return {
+        "table5_fp_sensitivity",
+        "Table 5: false-positive refresh rate under ANVIL-light and "
+        "ANVIL-heavy on the Figure-4 benchmark subset",
+        "[run_seconds]",
+        [](const runner::CliOptions &cli) {
+            const double run_sec = cli.positional_double(0, 3.0);
+            SweepSpec sweep;
+            sweep.name = "table5_fp_sensitivity";
+            sweep.default_trials = 1;
+            const struct {
+                const char *label;
+                detector::AnvilConfig config;
+            } configs[] = {
+                {"light", detector::AnvilConfig::light()},
+                {"heavy", detector::AnvilConfig::heavy()},
+            };
+            for (const char *name :
+                 {"bzip2", "gcc", "gobmk", "libquantum", "perlbench"}) {
+                for (const auto &c : configs) {
+                    ScenarioSpec s = false_positive_cell(
+                        std::string(name) + "/" + c.label, name, c.config,
+                        run_sec);
+                    s.outputs = {Output::kFpPerSec,
+                                 Output::kFalsePositiveRefreshes,
+                                 Output::kAnvilStats};
+                    sweep.cells.push_back(std::move(s));
+                }
+            }
+            return sweep;
+        },
+    };
+}
+
+constexpr const char *kFig4Benchmarks[] = {"bzip2", "gcc", "gobmk",
+                                           "libquantum", "perlbench"};
+
+SweepFactory
+fig4_sensitivity()
+{
+    return {
+        "fig4_sensitivity",
+        "Figure 4 + Section 4.5: slowdown sensitivity of ANVIL-baseline/"
+        "-light/-heavy, plus future-module (110K-access) attack scenarios",
+        "[ops]",
+        [](const runner::CliOptions &cli) {
+            const std::uint64_t ops = static_cast<std::uint64_t>(
+                cli.positional_double(0, 4000000.0));
+            SweepSpec sweep;
+            sweep.name = "fig4_sensitivity";
+            sweep.default_trials = 1;
+
+            const struct {
+                const char *label;
+                std::optional<detector::AnvilConfig> config;
+            } settings[] = {
+                {"none", std::nullopt},
+                {"baseline", detector::AnvilConfig::baseline()},
+                {"light", detector::AnvilConfig::light()},
+                {"heavy", detector::AnvilConfig::heavy()},
+            };
+            for (const char *name : kFig4Benchmarks) {
+                for (const auto &setting : settings) {
+                    ScenarioSpec s;
+                    s.name = std::string(name) + "/" + setting.label;
+                    s.workloads = {{name, "workload", false}};
+                    s.detector_before_workloads = true;
+                    s.detector = setting.config;
+                    s.run.mode = RunMode::kWorkloadOps;
+                    s.run.ops = ops;
+                    s.outputs = {Output::kRunMs, Output::kOps,
+                                 Output::kAnvilStats, Output::kDramStats};
+                    sweep.cells.push_back(std::move(s));
+                }
+            }
+
+            // Section 4.5: "a future scenario where bit flips can occur
+            // with 110K DRAM row accesses". These cells predate
+            // attack-lifetime ground-truth scoping; kUnlabeled keeps
+            // their committed JSON stable.
+            const struct {
+                const char *name;
+                bool spread;
+                detector::AnvilConfig config;
+            } cases[] = {
+                {"future/fast/heavy", false,
+                 detector::AnvilConfig::heavy()},
+                {"future/fast/baseline", false,
+                 detector::AnvilConfig::baseline()},
+                {"future/spread/light", true,
+                 detector::AnvilConfig::light()},
+                {"future/spread/baseline", true,
+                 detector::AnvilConfig::baseline()},
+            };
+            for (const auto &c : cases) {
+                ScenarioSpec s;
+                s.name = c.name;
+                s.system.dram.flip_threshold = 200000;  // 55 K per side
+                s.detector = c.config;
+                s.ground_truth = GroundTruth::kUnlabeled;
+                s.attacks = {{AttackKind::kClflushDoubleSided}};
+                s.run.mode = RunMode::kHammerUntilFlipOrDeadline;
+                s.run.duration = ms(200);
+                // Spread ~110 K total accesses across a whole refresh
+                // period: rate just above 10 K misses / 6 ms, below 20 K.
+                s.run.step_gap = c.spread ? ns(700) : 0;
+                s.outputs = {Output::kFlips, Output::kDetections,
+                             Output::kAnvilStats};
+                s.fixed_trials = 1;
+                sweep.cells.push_back(std::move(s));
+            }
+
+            sweep.finalize = [](runner::ResultSink &sink) {
+                for (const char *name : kFig4Benchmarks) {
+                    const std::string benchmark = name;
+                    const double base =
+                        sink.scenario(benchmark + "/none")
+                            .value_mean("run_ms");
+                    for (const char *label :
+                         {"baseline", "light", "heavy"}) {
+                        const std::string cell =
+                            benchmark + "/" + label;
+                        const double t =
+                            sink.scenario(cell).value_mean("run_ms");
+                        sink.set_derived(cell, "normalized",
+                                         base > 0.0 ? t / base : 0.0);
+                    }
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
+/** Shared shape of the hammer-to-first-flip cells (Table 1 family). */
+ScenarioSpec
+attack_cell(std::string name, AttackKind kind, Tick refresh_period)
+{
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.system.dram.refresh_period = refresh_period;
+    // These cells characterize the fixed reference module; the layout is
+    // not a random variable.
+    s.seed_vm_from_trial = false;
+    s.attacks = {{kind}};
+    s.run.mode = RunMode::kHammerToFirstFlip;
+    s.run.duration = ms(16);  // grace beyond one refresh period
+    s.outputs = {Output::kFlipped, Output::kAggressorAccesses,
+                 Output::kFlipMs};
+    return s;
+}
+
+SweepFactory
+table1_attacks()
+{
+    return {
+        "table1_attacks",
+        "Table 1 + Section 2.1: minimum accesses and time-to-flip per "
+        "hammer technique, and the refresh-rate arms race",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "table1_attacks";
+            sweep.default_trials = 1;
+            sweep.cells = {
+                attack_cell("single-sided/64ms",
+                            AttackKind::kClflushSingleSided, ms(64)),
+                attack_cell("double-sided/64ms",
+                            AttackKind::kClflushDoubleSided, ms(64)),
+                attack_cell("clflush-free/64ms",
+                            AttackKind::kClflushFreeDoubleSided, ms(64)),
+                attack_cell("double-sided/32ms",
+                            AttackKind::kClflushDoubleSided, ms(32)),
+                attack_cell("double-sided/16ms",
+                            AttackKind::kClflushDoubleSided, ms(16)),
+                attack_cell("single-sided/32ms",
+                            AttackKind::kClflushSingleSided, ms(32)),
+                attack_cell("clflush-free/32ms",
+                            AttackKind::kClflushFreeDoubleSided, ms(32)),
+            };
+            return sweep;
+        },
+    };
+}
+
+SweepFactory
+fig1_pattern()
+{
+    return {
+        "fig1_pattern",
+        "Figure 1b / Section 2.2: CLFLUSH-free eviction pattern cost "
+        "model, with the LLC replacement-policy ablation",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "fig1_pattern";
+            sweep.default_trials = 1;
+            for (const cache::ReplPolicy policy :
+                 {cache::ReplPolicy::kBitPlru, cache::ReplPolicy::kLru,
+                  cache::ReplPolicy::kNru, cache::ReplPolicy::kTreePlru,
+                  cache::ReplPolicy::kSrrip,
+                  cache::ReplPolicy::kRandom}) {
+                ScenarioSpec s;
+                s.name = std::string("pattern/") +
+                         cache::to_string(policy);
+                s.system.cache.llc_policy = policy;
+                s.seed_vm_from_trial = false;
+                s.attacks = {{AttackKind::kClflushFreeDoubleSided}};
+                s.run.mode = RunMode::kPatternMeasure;
+                s.run.warmup_iterations = 8;
+                s.run.iterations = 20000;
+                s.outputs = {Output::kMissesPerIter,
+                             Output::kAccessesPerIter,
+                             Output::kNsPerIter,
+                             Output::kCyclesPerIter,
+                             Output::kHammersPerRefresh,
+                             Output::kAggressorActShare};
+                sweep.cells.push_back(std::move(s));
+            }
+            return sweep;
+        },
+    };
+}
+
+SweepFactory
+fig3_overhead()
+{
+    return {
+        "fig3_overhead",
+        "Figure 3: benign slowdown of ANVIL vs a doubled refresh rate "
+        "over the SPEC2006 integer suite",
+        "[ops]",
+        [](const runner::CliOptions &cli) {
+            const std::uint64_t ops = static_cast<std::uint64_t>(
+                cli.positional_double(0, 4000000.0));
+            SweepSpec sweep;
+            sweep.name = "fig3_overhead";
+            sweep.default_trials = 1;
+            const struct {
+                const char *label;
+                Tick refresh_period;
+                bool with_anvil;
+            } settings[] = {
+                {"base", ms(64), false},
+                {"anvil", ms(64), true},
+                {"double-refresh", ms(32), false},
+            };
+            for (const auto &profile : workload::spec2006_int()) {
+                for (const auto &setting : settings) {
+                    ScenarioSpec s;
+                    s.name = profile.name + "/" + setting.label;
+                    s.system.dram.refresh_period =
+                        setting.refresh_period;
+                    // Historic fixed-seed methodology: default VM layout
+                    // and each profile's built-in workload seed.
+                    s.seed_vm_from_trial = false;
+                    s.workloads = {{profile.name, "", false}};
+                    s.detector_before_workloads = true;
+                    if (setting.with_anvil)
+                        s.detector = detector::AnvilConfig::baseline();
+                    s.run.mode = RunMode::kWorkloadOps;
+                    s.run.ops = ops;
+                    s.outputs = {Output::kRunMs, Output::kOps,
+                                 Output::kAnvilStats,
+                                 Output::kDramStats};
+                    sweep.cells.push_back(std::move(s));
+                }
+            }
+            sweep.finalize = [](runner::ResultSink &sink) {
+                for (const auto &profile : workload::spec2006_int()) {
+                    const double base =
+                        sink.scenario(profile.name + "/base")
+                            .value_mean("run_ms");
+                    for (const char *label :
+                         {"anvil", "double-refresh"}) {
+                        const std::string cell =
+                            profile.name + "/" + label;
+                        const double t =
+                            sink.scenario(cell).value_mean("run_ms");
+                        sink.set_derived(cell, "normalized",
+                                         base > 0.0 ? t / base : 0.0);
+                    }
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
+struct DefenseCell {
+    const char *label;
+    Tick refresh_period;
+    Mitigation mitigation;
+    bool with_anvil;
+};
+
+constexpr Tick kStandardRefresh = ms(64);
+
+const DefenseCell kDefenses[] = {
+    {"none", kStandardRefresh, Mitigation::kNone, false},
+    {"double-refresh", ms(32), Mitigation::kNone, false},
+    {"para", kStandardRefresh, Mitigation::kPara, false},
+    {"trr", kStandardRefresh, Mitigation::kTrr, false},
+    {"anvil", kStandardRefresh, Mitigation::kNone, true},
+};
+
+SweepFactory
+mitigation_comparison()
+{
+    return {
+        "mitigation_comparison",
+        "Mitigation landscape: every defense discussed in the paper vs "
+        "every attack, plus each defense's benign (mcf) slowdown",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "mitigation_comparison";
+            sweep.default_trials = 1;
+            const struct {
+                const char *label;
+                AttackKind kind;
+            } attacks[] = {
+                {"single-sided", AttackKind::kClflushSingleSided},
+                {"double-sided", AttackKind::kClflushDoubleSided},
+                {"clflush-free", AttackKind::kClflushFreeDoubleSided},
+            };
+            for (const DefenseCell &defense : kDefenses) {
+                for (const auto &attack : attacks) {
+                    ScenarioSpec s = attack_cell(
+                        std::string(defense.label) + "/" + attack.label,
+                        attack.kind, defense.refresh_period);
+                    s.mitigation = defense.mitigation;
+                    if (defense.with_anvil)
+                        s.detector = detector::AnvilConfig::baseline();
+                    s.outputs = {Output::kFlipped};
+                    sweep.cells.push_back(std::move(s));
+                }
+            }
+            for (const DefenseCell &defense : kDefenses) {
+                ScenarioSpec s;
+                s.name = std::string("benign/") +
+                         (defense.mitigation == Mitigation::kNone &&
+                                  !defense.with_anvil &&
+                                  defense.refresh_period ==
+                                      kStandardRefresh
+                              ? "unprotected"
+                              : defense.label);
+                s.system.dram.refresh_period = defense.refresh_period;
+                s.seed_vm_from_trial = false;
+                s.mitigation = defense.mitigation;
+                s.workloads = {{"mcf", "", false}};
+                s.detector_before_workloads = true;
+                if (defense.with_anvil)
+                    s.detector = detector::AnvilConfig::baseline();
+                s.run.mode = RunMode::kWorkloadOps;
+                s.run.ops = 1500000;
+                s.outputs = {Output::kRunMs, Output::kOps};
+                sweep.cells.push_back(std::move(s));
+            }
+            sweep.finalize = [](runner::ResultSink &sink) {
+                const double base = sink.scenario("benign/unprotected")
+                                        .value_mean("run_ms");
+                for (const char *label :
+                     {"double-refresh", "para", "trr", "anvil"}) {
+                    const std::string cell =
+                        std::string("benign/") + label;
+                    const double t =
+                        sink.scenario(cell).value_mean("run_ms");
+                    sink.set_derived(cell, "slowdown",
+                                     base > 0.0 ? t / base : 0.0);
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
+}  // namespace
+
+const ScenarioRegistry &
+paper_registry()
+{
+    static const ScenarioRegistry registry = [] {
+        ScenarioRegistry r;
+        r.add(table1_attacks());
+        r.add(fig1_pattern());
+        r.add(table3_detection());
+        r.add(table4_false_positives());
+        r.add(table5_fp_sensitivity());
+        r.add(fig3_overhead());
+        r.add(fig4_sensitivity());
+        r.add(mitigation_comparison());
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace anvil::scenario

@@ -1,0 +1,36 @@
+#include "scenario/registry.hh"
+
+#include <stdexcept>
+
+namespace anvil::scenario {
+
+void
+ScenarioRegistry::add(SweepFactory factory)
+{
+    if (find(factory.name) != nullptr) {
+        throw std::invalid_argument("duplicate scenario sweep name: " +
+                                    factory.name);
+    }
+    factories_.push_back(std::move(factory));
+}
+
+const SweepFactory *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const SweepFactory &factory : factories_) {
+        if (factory.name == name)
+            return &factory;
+    }
+    return nullptr;
+}
+
+const SweepFactory &
+ScenarioRegistry::at(const std::string &name) const
+{
+    const SweepFactory *factory = find(name);
+    if (factory == nullptr)
+        throw std::out_of_range("unknown scenario sweep: " + name);
+    return *factory;
+}
+
+}  // namespace anvil::scenario

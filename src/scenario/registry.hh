@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Named registry of scenario sweeps, so one driver binary (anvil-sim)
+ * can list and run every paper table/figure, and per-table bench
+ * binaries stay one-line wrappers over the same definitions.
+ */
+#ifndef ANVIL_SCENARIO_REGISTRY_HH
+#define ANVIL_SCENARIO_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/options.hh"
+#include "scenario/spec.hh"
+
+namespace anvil::scenario {
+
+/**
+ * Builds a SweepSpec from the parsed CLI options. A factory rather than
+ * a stored spec because some sweeps take positional parameters (run
+ * seconds, operation counts) that scale their cells.
+ */
+struct SweepFactory {
+    std::string name;
+    std::string description;
+    /// Positional-argument usage appended to the driver's help line,
+    /// e.g. "[run_seconds]"; empty when the sweep takes none.
+    std::string usage;
+    std::function<SweepSpec(const runner::CliOptions &)> make;
+};
+
+/** Ordered, named collection of sweep factories. */
+class ScenarioRegistry
+{
+  public:
+    /** @throw std::invalid_argument on a duplicate name. */
+    void add(SweepFactory factory);
+
+    /** @return the factory named @p name, or nullptr. */
+    const SweepFactory *find(const std::string &name) const;
+
+    /** @return the factory named @p name. @throw std::out_of_range. */
+    const SweepFactory &at(const std::string &name) const;
+
+    const std::vector<SweepFactory> &all() const { return factories_; }
+
+  private:
+    std::vector<SweepFactory> factories_;
+};
+
+/**
+ * The registry of every paper table/figure sweep (populated by
+ * catalog.cc). Singleton so bench mains and the driver share one list.
+ */
+const ScenarioRegistry &paper_registry();
+
+}  // namespace anvil::scenario
+
+#endif  // ANVIL_SCENARIO_REGISTRY_HH

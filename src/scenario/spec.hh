@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The declarative scenario layer: every paper experiment — machine,
+ * detector, attacks, background workloads, phase jitter, run mode, and
+ * measurement outputs — expressed as data.
+ *
+ * A ScenarioSpec is one cell of a paper table/figure (one runner
+ * scenario: a row label plus N trials). A SweepSpec is a whole
+ * table/figure: an ordered list of cells plus sweep-level metadata and an
+ * optional finalize hook computing derived aggregates. Specs carry no
+ * behaviour; ScenarioBuilder (builder.hh) instantiates a spec into a
+ * running testbed, and the ScenarioRegistry (registry.hh) names whole
+ * sweeps so one driver binary can run any of them.
+ *
+ * Evaluations of rowhammer defenses live or die on how easily new
+ * attacker/workload combinations can be composed ("Another Flip in the
+ * Wall" broke ANVIL-class defenses by varying exactly these knobs) —
+ * hence scenarios are data, not copy-pasted C++.
+ */
+#ifndef ANVIL_SCENARIO_SPEC_HH
+#define ANVIL_SCENARIO_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anvil/config.hh"
+#include "common/units.hh"
+#include "mem/memory_system.hh"
+
+namespace anvil::runner {
+class ResultSink;
+struct CliOptions;
+}  // namespace anvil::runner
+
+namespace anvil::scenario {
+
+/** Which hammer kernel the attacker runs. */
+enum class AttackKind {
+    kClflushSingleSided,
+    kClflushDoubleSided,
+    kClflushFreeDoubleSided,
+};
+
+/** How the attacker picks its target among the scanned candidates. */
+enum class TargetPolicy {
+    /// First candidate whose victim has the module's minimum flip
+    /// threshold (slice-compatibility is additionally required for the
+    /// CLFLUSH-free attack). This is how all paper experiments select.
+    kWeakestVictim,
+};
+
+/** One attacker in the scenario. */
+struct AttackSpec {
+    AttackKind kind = AttackKind::kClflushDoubleSided;
+    TargetPolicy target = TargetPolicy::kWeakestVictim;
+};
+
+/** One background (or foreground) benign workload. */
+struct WorkloadSpec {
+    /// SPEC2006 profile name (workload::spec_profile).
+    std::string profile;
+    /// Named trial sub-stream seeding the workload; empty keeps the
+    /// profile's built-in seed (legacy fixed-seed scenarios).
+    std::string seed_stream;
+    /// Apply rate-boosted importance sampling to the thrash-phase rate
+    /// (false-positive measurements; see boost_thrash_rate).
+    bool boost_thrash = false;
+};
+
+/** Hardware mitigation attached to the DRAM device (comparison bench). */
+enum class Mitigation { kNone, kPara, kTrr };
+
+/**
+ * How detections are labeled against ground truth. Labeling never feeds
+ * back into the detector — it only drives false-positive accounting.
+ */
+enum class GroundTruth {
+    /// The oracle returns true exactly while the scenario's attack phase
+    /// is running: a detection before the attack starts (e.g. during the
+    /// free-run window) counts as a false positive. This is the correct
+    /// scoping and the default.
+    kAttackLifetime,
+    /// No oracle installed: every detection is labeled "not an attack"
+    /// (the detector's legacy default). Kept only for scenarios whose
+    /// committed JSON predates attack-lifetime scoping.
+    kUnlabeled,
+};
+
+/** A fixed advance plus a seed-stream-chosen jitter (phase decorrelation). */
+struct PhaseJitter {
+    Tick base = 0;
+    Tick jitter = 0;        ///< advance += seed_for(stream) % jitter
+    std::string stream;     ///< named trial sub-stream drawn from
+    bool empty() const { return base == 0 && jitter == 0; }
+};
+
+/** What the run phase of the scenario does. */
+enum class RunMode {
+    /// Interleave all attacks and workloads round-robin for `duration`
+    /// (a single workload with no attack runs directly).
+    kInterleaveFor,
+    /// Each workload executes `ops` operations (fixed-work slowdowns).
+    kWorkloadOps,
+    /// Align to the victim's refresh, then run the hammer kernel until
+    /// first flip or one refresh period plus `duration` of grace.
+    kHammerToFirstFlip,
+    /// Step the hammer until first flip or `duration` elapses, advancing
+    /// `step_gap` of think time between iterations (spread-out attacks).
+    kHammerUntilFlipOrDeadline,
+    /// Warm the hammer up, then measure per-iteration cache/DRAM/latency
+    /// behaviour over `iterations` iterations (Figure 1b cost model).
+    kPatternMeasure,
+};
+
+/** Run-phase parameters (interpreted per RunMode). */
+struct RunSpec {
+    RunMode mode = RunMode::kInterleaveFor;
+    Tick duration = 0;
+    std::uint64_t ops = 0;
+    Tick step_gap = 0;
+    std::uint64_t warmup_iterations = 8;
+    std::uint64_t iterations = 20000;
+};
+
+/**
+ * Measurements the scenario emits, in emission order. Each kind maps to
+ * a fixed counter/value name in the anvil-sweep-v1 JSON; specs list
+ * exactly the outputs (and order) their table consumes.
+ */
+enum class Output {
+    kFlips,                   ///< counter "flips": DRAM bit flips
+    kDetections,              ///< counter "detections"
+    kSelectiveRefreshes,      ///< counter "selective_refreshes"
+    kAttackMs,                ///< value "attack_ms": run-phase duration
+    kDetectMs,                ///< value "detect_ms": first detection
+    kFpPerSec,                ///< value "fp_per_sec": boost-corrected FP rate
+    kBoost,                   ///< value "boost": thrash-rate boost applied
+    kFalsePositiveRefreshes,  ///< counter "false_positive_refreshes"
+    kRunMs,                   ///< value "run_ms": run-phase duration
+    kOps,                     ///< counter "ops": operations executed
+    kFlipped,                 ///< counter "flipped": hammer run flipped
+    kAggressorAccesses,       ///< counter "aggressor_accesses"
+    kFlipMs,                  ///< value "flip_ms": time to first flip
+    kMissesPerIter,           ///< value "misses_per_iter" (pattern)
+    kAccessesPerIter,         ///< value "accesses_per_iter" (pattern)
+    kNsPerIter,               ///< value "ns_per_iter" (pattern)
+    kCyclesPerIter,           ///< value "cycles_per_iter" (pattern)
+    kHammersPerRefresh,       ///< value "hammers_per_refresh" (pattern)
+    kAggressorActShare,       ///< value "aggressor_act_share" (pattern)
+    kAnvilStats,              ///< detector stats block (when configured)
+    kDramStats,               ///< DRAM stats block
+};
+
+/** One fully declarative experiment cell. */
+struct ScenarioSpec {
+    /// Runner scenario name — the row label and the trial-seed salt.
+    std::string name;
+
+    /// The machine. vm_seed is replaced by the trial's "vm" sub-stream
+    /// unless seed_vm_from_trial is false (legacy fixed-layout cells).
+    mem::SystemConfig system;
+    bool seed_vm_from_trial = true;
+
+    /// Hardware mitigation attached right after machine construction.
+    Mitigation mitigation = Mitigation::kNone;
+
+    /// Clock advance before the detector loads (layout/refresh-phase
+    /// decorrelation across trials).
+    PhaseJitter pre_detector;
+
+    /// Benign workloads, constructed before the detector loads.
+    std::vector<WorkloadSpec> workloads;
+
+    /// Start the detector before constructing workloads. Anvil::start()
+    /// charges its first stage-1 check to the simulated clock, so the
+    /// construction order shifts the workloads' thrash-phase schedule
+    /// relative to the detector windows; scenarios pin whichever order
+    /// their measurement was calibrated against.
+    bool detector_before_workloads = false;
+
+    /// The detector; nullopt runs unprotected.
+    std::optional<detector::AnvilConfig> detector;
+    GroundTruth ground_truth = GroundTruth::kAttackLifetime;
+
+    /// Free-run advance between detector start and attack start, so the
+    /// attack begins at an arbitrary (seed-chosen) window phase.
+    PhaseJitter pre_attack;
+
+    /// Attackers (target selection + hammer construction happen after
+    /// the free-run window, like a process that just started).
+    std::vector<AttackSpec> attacks;
+
+    RunSpec run;
+    std::vector<Output> outputs;
+
+    /// When nonzero this cell always runs exactly this many trials,
+    /// ignoring --trials (e.g. fig4's single-shot future-attack cells).
+    std::uint64_t fixed_trials = 0;
+};
+
+/** A whole paper table/figure: named, ordered cells + aggregation hook. */
+struct SweepSpec {
+    /// Registry key and JSON "sweep" name, e.g. "table3_detection".
+    std::string name;
+    /// One line for `anvil-sim --list`.
+    std::string description;
+    /// Cells in execution (and JSON) order.
+    std::vector<ScenarioSpec> cells;
+    /// Default trials per cell when --trials is not given.
+    std::uint64_t default_trials = 1;
+    /// Computes derived aggregates (set_derived) after the sweep runs;
+    /// shared by the bench binaries and the anvil-sim driver so both
+    /// emit identical JSON.
+    std::function<void(runner::ResultSink &)> finalize;
+};
+
+}  // namespace anvil::scenario
+
+#endif  // ANVIL_SCENARIO_SPEC_HH

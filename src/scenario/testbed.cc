@@ -1,0 +1,87 @@
+#include "scenario/testbed.hh"
+
+#include <algorithm>
+
+namespace anvil::scenario {
+
+Attacker::Attacker(mem::MemorySystem &machine, std::uint64_t buffer_bytes)
+    : space(&machine.create_process()),
+      buffer(space->mmap(buffer_bytes)),
+      layout(*space, machine.dram().address_map(), machine.hierarchy())
+{
+    layout.scan(buffer, buffer_bytes);
+}
+
+Testbed::Testbed(mem::SystemConfig config)
+    : machine(config),
+      pmu(machine),
+      intruder_(machine),
+      attacker(intruder_.space),
+      buffer(intruder_.buffer),
+      layout(intruder_.layout)
+{
+}
+
+void
+Testbed::align_to_refresh(std::uint32_t victim_row)
+{
+    const auto &schedule = machine.dram().refresh_schedule();
+    machine.advance(schedule.next_refresh(victim_row, machine.now()) + 10 -
+                    machine.now());
+}
+
+bool
+Testbed::is_weakest(std::uint32_t flat_bank, std::uint32_t victim_row) const
+{
+    return machine.dram().disturbance(flat_bank).threshold_of(victim_row) ==
+           machine.dram().config().flip_threshold;
+}
+
+std::optional<attack::DoubleSidedTarget>
+Testbed::weakest_double_sided(bool require_slice_compatible)
+{
+    for (const auto &t : layout.find_double_sided_targets(1024)) {
+        if (!is_weakest(t.flat_bank, t.victim_row))
+            continue;
+        if (require_slice_compatible &&
+            !attack::ClflushFreeDoubleSided::slice_compatible(
+                machine, attacker->pid(), t)) {
+            continue;
+        }
+        return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<attack::SingleSidedTarget>
+Testbed::weakest_single_sided()
+{
+    for (const auto &t : layout.find_single_sided_targets(1024, 64)) {
+        if (is_weakest(t.flat_bank, t.aggressor_row + 1))
+            return t;
+    }
+    return std::nullopt;
+}
+
+double
+boost_thrash_rate(workload::SpecProfile &profile,
+                  double target_component_rate, double max_total_rate)
+{
+    const double rate = profile.thrash_phases_per_sec;
+    if (rate <= 0.0)
+        return 1.0;
+    double min_fraction = 1.0;
+    const double weak_fraction = 1.0 - profile.thrash_burst_fraction -
+                                 profile.thrash_strong_fraction;
+    for (const double f : {profile.thrash_burst_fraction,
+                           profile.thrash_strong_fraction, weak_fraction}) {
+        if (f > 1e-9)
+            min_fraction = std::min(min_fraction, f);
+    }
+    double boost = target_component_rate / (rate * min_fraction);
+    boost = std::max(1.0, std::min(boost, max_total_rate / rate));
+    profile.thrash_phases_per_sec = rate * boost;
+    return boost;
+}
+
+}  // namespace anvil::scenario

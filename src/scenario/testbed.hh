@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared experiment apparatus for paper-reproduction scenarios: an
+ * attacker process with a scanned buffer, a machine + attacker bundle,
+ * weakest-victim target selection, refresh-phase alignment, and the
+ * thrash-rate importance-sampling boost. Formerly bench/harness.hh;
+ * promoted into the library so scenarios, benches, examples, and tests
+ * all share one apparatus.
+ */
+#ifndef ANVIL_SCENARIO_TESTBED_HH
+#define ANVIL_SCENARIO_TESTBED_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/hammer.hh"
+#include "attack/memory_layout.hh"
+#include "mem/memory_system.hh"
+#include "pmu/pmu.hh"
+#include "workload/profile.hh"
+
+namespace anvil::scenario {
+
+/**
+ * One attacker process on an existing machine: maps a buffer and scans
+ * it through /proc/pagemap. Use directly when the machine (and its PMU /
+ * detector / workloads) already exists — e.g. an attacker joining a
+ * running system — or via Testbed for the common machine+attacker case.
+ */
+struct Attacker {
+    static constexpr std::uint64_t kBufferBytes = 64ULL << 20;
+
+    explicit Attacker(mem::MemorySystem &machine,
+                      std::uint64_t buffer_bytes = kBufferBytes);
+
+    mem::AddressSpace *space;
+    Addr buffer;
+    attack::MemoryLayout layout;
+};
+
+/** A machine with one attacker process that has scanned a 64 MB buffer. */
+class Testbed
+{
+  public:
+    static constexpr std::uint64_t kBufferBytes = Attacker::kBufferBytes;
+
+    explicit Testbed(mem::SystemConfig config = mem::SystemConfig{});
+
+    /** Advances the clock to just after @p victim_row's next refresh. */
+    void align_to_refresh(std::uint32_t victim_row);
+
+    /** True if @p victim has the module's minimum flip threshold. */
+    bool is_weakest(std::uint32_t flat_bank, std::uint32_t victim_row) const;
+
+    /** First double-sided target whose victim is maximally sensitive. */
+    std::optional<attack::DoubleSidedTarget>
+    weakest_double_sided(bool require_slice_compatible = false);
+
+    /** First single-sided target with a maximally sensitive victim. */
+    std::optional<attack::SingleSidedTarget> weakest_single_sided();
+
+    mem::MemorySystem machine;
+    pmu::Pmu pmu;
+
+  private:
+    Attacker intruder_;
+
+  public:
+    // Aliases preserving the historical harness field names.
+    mem::AddressSpace *const attacker;
+    const Addr buffer;
+    attack::MemoryLayout &layout;
+};
+
+/**
+ * Rate-boosted importance sampling for false-positive measurements.
+ *
+ * Benchmarks' conflict-thrash phases arrive as a Poisson process at
+ * tenths of a hertz, with per-phase type fractions — far too rare to
+ * observe in a few simulated seconds. Since each phase contributes
+ * independently to the false-positive count, boosting the arrival rate
+ * and dividing the measured rate by the boost is an unbiased estimator.
+ * The boost targets the *rarest* phase component (e.g. gcc's occasional
+ * bursts among its many weak phases) and is capped so phases stay
+ * non-overlapping.
+ *
+ * @return the boost factor applied (divide measured rates by it).
+ */
+double boost_thrash_rate(workload::SpecProfile &profile,
+                         double target_component_rate = 1.5,
+                         double max_total_rate = 12.0);
+
+}  // namespace anvil::scenario
+
+#endif  // ANVIL_SCENARIO_TESTBED_HH

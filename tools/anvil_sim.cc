@@ -1,0 +1,83 @@
+/**
+ * @file
+ * anvil-sim: the single driver for every paper table/figure sweep.
+ *
+ *   anvil-sim --list                         enumerate scenario sweeps
+ *   anvil-sim SWEEP [args] [runner flags]    run one sweep
+ *
+ * The sweep definitions live in the scenario catalog
+ * (src/scenario/catalog.cc); this binary only resolves the name, runs
+ * the sweep through the shared parallel runner, and emits the standard
+ * `anvil-sweep-v1` JSON report. The per-table bench binaries render the
+ * paper's human-readable tables over the same definitions; output from
+ * this driver is the machine-readable path (--json-out PATH or "-").
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runner/options.hh"
+#include "scenario/builder.hh"
+#include "scenario/registry.hh"
+
+using namespace anvil;
+
+namespace {
+
+void
+print_list()
+{
+    std::printf("registered scenario sweeps:\n");
+    for (const scenario::SweepFactory &factory :
+         scenario::paper_registry().all()) {
+        std::string invocation = factory.name;
+        if (!factory.usage.empty())
+            invocation += " " + factory.usage;
+        std::printf("  %-36s %s\n", invocation.c_str(),
+                    factory.description.c_str());
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --list is our flag, not the runner's; handle it before parse()
+    // (which exits 2 on flags it does not know).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            print_list();
+            return 0;
+        }
+    }
+
+    runner::CliOptions cli = runner::CliOptions::parse(
+        argc, argv,
+        "  positional: scenario sweep name, then its own arguments\n"
+        "  --list             print the registered scenario sweeps\n");
+    if (cli.positional.empty()) {
+        std::fprintf(stderr,
+                     "anvil-sim: expected a scenario sweep name "
+                     "(try --list)\n");
+        return 2;
+    }
+
+    const std::string name = cli.positional.front();
+    const scenario::SweepFactory *factory =
+        scenario::paper_registry().find(name);
+    if (factory == nullptr) {
+        std::fprintf(stderr, "anvil-sim: unknown scenario sweep '%s'\n\n",
+                     name.c_str());
+        print_list();
+        return 2;
+    }
+
+    // The sweep sees its own positionals exactly as its bench binary
+    // would: argument 0 is the first after the sweep name.
+    cli.positional.erase(cli.positional.begin());
+
+    const scenario::SweepSpec spec = factory->make(cli);
+    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+}
