@@ -25,12 +25,14 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
     const scenario::SweepSpec spec =
         scenario::paper_registry().at("fig1_pattern").make(cli);
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     const runner::ScenarioAggregate &bitplru =
         sink.scenario("pattern/bitplru");
@@ -81,5 +83,11 @@ main(int argc, char **argv)
              hammers > 110000 ? "yes" : "no"});
     }
     ablation.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

@@ -25,7 +25,7 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv, "  positional: ops per benchmark (default 4000000)");
@@ -34,7 +34,9 @@ main(int argc, char **argv)
     const std::uint64_t ops = static_cast<std::uint64_t>(
         cli.positional_double(0, 4000000.0));
 
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     TextTable fig3("Figure 3: Normalized execution time (baseline = "
                    "unprotected, 64 ms refresh; " +
@@ -68,5 +70,11 @@ main(int argc, char **argv)
     fig3.add_row({"peak (ANVIL)", TextTable::fmt(anvil_peak, 4), "",
                   "ANVIL peak 1.0318"});
     fig3.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

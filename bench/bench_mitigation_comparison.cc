@@ -33,12 +33,14 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
     const scenario::SweepSpec spec =
         scenario::paper_registry().at("mitigation_comparison").make(cli);
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     const double benign_base =
         sink.scenario("benign/unprotected").value_mean("run_ms");
@@ -97,5 +99,11 @@ main(int argc, char **argv)
                  "eviction-based attack; hardware TRR/PARA work but do "
                  "not exist in deployed DRAM; ANVIL stops all three on "
                  "stock hardware for ~1-3 % overhead.\n";
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

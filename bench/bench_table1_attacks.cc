@@ -47,12 +47,14 @@ cell_result(runner::ResultSink &sink, const std::string &cell)
 }  // namespace
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
     const scenario::SweepSpec spec =
         scenario::paper_registry().at("table1_attacks").make(cli);
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     TextTable table1(
         "Table 1: Rowhammer Attack Characteristics (64 ms refresh)");
@@ -109,5 +111,11 @@ main(int argc, char **argv)
                          s.paper});
     }
     refresh.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

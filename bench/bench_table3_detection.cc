@@ -29,7 +29,7 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
     const scenario::SweepSpec spec =
@@ -50,7 +50,9 @@ main(int argc, char **argv)
                     "5000/s (~30 per 6 ms)"});
     params.print(std::cout);
 
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     const struct {
         const char *label;
@@ -84,5 +86,11 @@ main(int argc, char **argv)
                         row.paper});
     }
     table3.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

@@ -25,7 +25,7 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv, "  positional: simulated seconds per benchmark "
@@ -35,7 +35,9 @@ main(int argc, char **argv)
     // Longer runs give smoother rates; default is sized for a laptop.
     const double run_sec = cli.positional_double(0, 3.0);
 
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     const struct {
         const char *name;
@@ -57,5 +59,11 @@ main(int argc, char **argv)
                         TextTable::fmt(row.paper, 2)});
     }
     table4.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

@@ -23,7 +23,7 @@
 using namespace anvil;
 
 int
-main(int argc, char **argv)
+main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv,
@@ -32,7 +32,9 @@ main(int argc, char **argv)
         scenario::paper_registry().at("table5_fp_sensitivity").make(cli);
     const double run_sec = cli.positional_double(0, 3.0);
 
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
 
     const struct {
         const char *name;
@@ -61,5 +63,11 @@ main(int argc, char **argv)
                             TextTable::fmt(row.paper_heavy, 2)});
     }
     table5.print(std::cout);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    return runner::finish_sweep(run, cli.sweep);
+}
+catch (const Error &e) {
+    // Config-level faults (spec validation, a --resume journal from a
+    // different sweep); per-trial failures become outcomes instead.
+    std::cerr << "bench: " << e.what() << "\n";
+    return runner::kExitUsage;
 }

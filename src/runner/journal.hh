@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for sweep execution.
+ *
+ * While a sweep with a file JSON destination runs, every completed
+ * trial's outcome is appended to `<json-out>.journal` as a
+ * length-prefixed, checksummed, fsync'd binary record. If the process
+ * dies mid-sweep — Ctrl-C, SIGKILL, OOM — `--resume` replays the journal,
+ * skips the trials it holds, runs only the remainder, and produces final
+ * JSON byte-identical to an uninterrupted run (the sink aggregates in
+ * plan order, and doubles are journaled as raw IEEE-754 bits, so replayed
+ * results are bit-exact).
+ *
+ * Recovery rules:
+ *   - a torn trailing record (partial write at the kill point) is
+ *     truncated away, never fatal;
+ *   - a header that does not match the resuming sweep (different name or
+ *     master seed) refuses the resume with a structured error;
+ *   - a record that contradicts the sweep plan (seed mismatch at its
+ *     global index — the sweep definition changed) likewise refuses.
+ *
+ * The format is host-endian and process-local (a checkpoint, not an
+ * interchange format); the version byte guards against record-layout
+ * drift across builds.
+ */
+#ifndef ANVIL_RUNNER_JOURNAL_HH
+#define ANVIL_RUNNER_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/trial.hh"
+
+namespace anvil::runner {
+
+/** One replayed journal entry: the trial's identity and its outcome. */
+struct JournalRecord {
+    TrialSpec spec;
+    TrialOutcome outcome;
+};
+
+/**
+ * Append-side of the journal. Thread-safe: workers append records as
+ * trials complete, in completion order — records carry their global
+ * index, so ordering never matters for replay.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Opens @p path for journaling sweep @p sweep / @p master_seed.
+     * Fresh runs truncate and write a new header; resuming runs
+     * (@p append) keep existing records and validate the header first.
+     * @throw Error on I/O failure or an append-mode header mismatch.
+     */
+    void open(const std::string &path, const std::string &sweep,
+              std::uint64_t master_seed, bool append);
+
+    bool is_open() const { return fd_ >= 0; }
+
+    /** Appends one record and fsyncs it to disk. @throw Error on I/O. */
+    void append(const TrialSpec &spec, const TrialOutcome &outcome);
+
+    void close();
+
+  private:
+    std::mutex mutex_;
+    int fd_ = -1;
+    std::string path_;
+};
+
+/**
+ * Reads every intact record of @p path, validating the header against
+ * (@p sweep, @p master_seed). A torn or corrupt tail is truncated from
+ * the file (recovery, reported on stderr), not an error.
+ * @throw Error when the file exists but belongs to a different sweep.
+ */
+std::vector<JournalRecord> read_journal(const std::string &path,
+                                        const std::string &sweep,
+                                        std::uint64_t master_seed);
+
+/** The journal path for a JSON destination: `<json_out>.journal`. */
+std::string journal_path(const std::string &json_out);
+
+}  // namespace anvil::runner
+
+#endif  // ANVIL_RUNNER_JOURNAL_HH

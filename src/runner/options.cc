@@ -20,6 +20,16 @@ print_usage(const char *prog, const std::string &extra)
         << "  --json-out PATH    write aggregated JSON report (\"-\" = "
            "stdout)\n"
         << "  --replay-trial N   run only global trial N, serially\n"
+        << "  --retries N        re-run failed trials up to N extra times "
+           "(same seed)\n"
+        << "  --trial-timeout N  per-trial simulated-event budget "
+           "(0 = unlimited)\n"
+        << "  --resume           replay <json-out>.journal and run only "
+           "missing trials\n"
+        << "  --inject-fault S   inject a deterministic fault, "
+           "S = kind@scenario:trial\n"
+        << "                     (kind: throw | flaky | hang | corrupt; "
+           "repeatable)\n"
         << "  --help             this message\n";
     if (!extra.empty())
         std::cerr << extra << "\n";
@@ -93,6 +103,23 @@ CliOptions::parse(int argc, char **argv, const std::string &extra_usage)
         } else if (arg == "--replay-trial") {
             opts.sweep.replay_trial =
                 parse_u64(prog, extra_usage, arg, take_value());
+        } else if (arg == "--retries") {
+            opts.sweep.retries = static_cast<unsigned>(
+                parse_u64(prog, extra_usage, arg, take_value()));
+        } else if (arg == "--trial-timeout") {
+            opts.sweep.trial_timeout =
+                parse_u64(prog, extra_usage, arg, take_value());
+        } else if (arg == "--resume") {
+            opts.sweep.resume = true;
+        } else if (arg == "--inject-fault") {
+            try {
+                opts.sweep.faults.push_back(parse_fault(take_value()));
+            } catch (const Error &e) {
+                std::cerr << prog << ": bad value for --inject-fault: "
+                          << e.what() << "\n";
+                print_usage(prog, extra_usage);
+                std::exit(2);
+            }
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << prog << ": unknown flag " << arg << "\n";
             print_usage(prog, extra_usage);
@@ -100,6 +127,20 @@ CliOptions::parse(int argc, char **argv, const std::string &extra_usage)
         } else {
             opts.positional.emplace_back(argv[i]);
         }
+    }
+    if (opts.sweep.resume && opts.sweep.replay_trial) {
+        std::cerr << prog << ": --resume and --replay-trial are mutually "
+                     "exclusive (a replay runs one trial and writes no "
+                     "journal)\n";
+        print_usage(prog, extra_usage);
+        std::exit(2);
+    }
+    if (opts.sweep.resume &&
+        (opts.sweep.json_out.empty() || opts.sweep.json_out == "-")) {
+        std::cerr << prog << ": --resume needs --json-out FILE (the "
+                     "journal lives next to the JSON report)\n";
+        print_usage(prog, extra_usage);
+        std::exit(2);
     }
     return opts;
 }

@@ -10,6 +10,10 @@
  *   --trials N         override each scenario's default trial count
  *   --json-out PATH    write the aggregated JSON report (PATH or "-")
  *   --replay-trial N   run only global trial N, serially (debugging)
+ *   --retries N        re-run failed trials up to N extra times
+ *   --trial-timeout N  per-trial simulated-event budget (0 = unlimited)
+ *   --resume           replay <json-out>.journal; run only what's missing
+ *   --inject-fault S   deterministic fault "kind@scenario:trial" (CI/tests)
  *   --help             usage
  *
  * Unrecognized non-flag arguments are passed through as positionals so

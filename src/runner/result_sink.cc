@@ -44,13 +44,17 @@ write_dram(JsonWriter &json, const dram::DramSystem::Stats &s)
 }  // namespace
 
 void
-ScenarioAggregate::add(const TrialResult &result)
+ScenarioAggregate::add(const TrialSpec &spec, const TrialOutcome &outcome)
 {
     ++trials_;
-    if (result.failed()) {
+    if (outcome.failed()) {
         ++errors_;
+        failures_.push_back(TrialFailure{spec.trial, spec.seed,
+                                         outcome.status, outcome.attempts,
+                                         outcome.error});
         return;
     }
+    const TrialResult &result = outcome.result;
     for (const auto &[name, v] : result.values()) {
         auto it = std::find_if(values_.begin(), values_.end(),
                                [&](const ValueAgg &a) {
@@ -130,6 +134,21 @@ ScenarioAggregate::write_json(JsonWriter &json) const
     json.field("name", name_);
     json.field("trials", trials_);
     json.field("errors", errors_);
+    // Only present when a trial failed, so fault-free sweep JSON is
+    // byte-identical to what the pre-fault-tolerance runner emitted.
+    if (!failures_.empty()) {
+        json.key("failures").begin_array();
+        for (const TrialFailure &f : failures_) {
+            json.begin_object();
+            json.field("trial", f.trial);
+            json.field("seed", f.seed);
+            json.field("status", to_string(f.status));
+            json.field("attempts", std::uint64_t{f.attempts});
+            json.field("error", f.error);
+            json.end_object();
+        }
+        json.end_array();
+    }
     json.key("values").begin_array();
     for (const ValueAgg &a : values_) {
         json.begin_object();
@@ -171,11 +190,11 @@ ScenarioAggregate::write_json(JsonWriter &json) const
 }
 
 void
-ResultSink::add(const TrialSpec &spec, const TrialResult &result)
+ResultSink::add(const TrialSpec &spec, const TrialOutcome &outcome)
 {
-    scenario(spec.scenario).add(result);
+    scenario(spec.scenario).add(spec, outcome);
     ++total_trials_;
-    if (result.failed())
+    if (outcome.failed())
         ++total_errors_;
 }
 

@@ -21,6 +21,21 @@
 
 namespace anvil::runner {
 
+/**
+ * Diagnostics of one failed (or timed-out) trial, preserved in the
+ * sweep JSON so a failure is a record, not just a counter. The error
+ * string is the rendered anvil::Error cause chain, which is a pure
+ * function of the trial — so JSON stays byte-stable across reruns and
+ * journal replays.
+ */
+struct TrialFailure {
+    std::uint64_t trial = 0;
+    std::uint64_t seed = 0;
+    TrialStatus status = TrialStatus::kFailed;
+    std::uint32_t attempts = 1;
+    std::string error;
+};
+
 /** Everything accumulated for one scenario (one row of a paper table). */
 class ScenarioAggregate
 {
@@ -28,7 +43,7 @@ class ScenarioAggregate
     explicit ScenarioAggregate(std::string name) : name_(std::move(name)) {}
 
     /** Folds one trial in (order matters; the sink guarantees it). */
-    void add(const TrialResult &result);
+    void add(const TrialSpec &spec, const TrialOutcome &outcome);
 
     /** Attaches a derived scalar (computed by the bench from aggregates). */
     void set_derived(std::string name, double v);
@@ -36,6 +51,7 @@ class ScenarioAggregate
     const std::string &name() const { return name_; }
     std::uint64_t trials() const { return trials_; }
     std::uint64_t errors() const { return errors_; }
+    const std::vector<TrialFailure> &failures() const { return failures_; }
 
     /** Distribution of a named value, or nullptr if never recorded. */
     const RunningStat *value_stat(std::string_view name) const;
@@ -68,6 +84,7 @@ class ScenarioAggregate
     std::string name_;
     std::uint64_t trials_ = 0;
     std::uint64_t errors_ = 0;
+    std::vector<TrialFailure> failures_;  ///< one per failed trial
     std::vector<ValueAgg> values_;      ///< insertion order
     std::vector<CounterAgg> counters_;  ///< insertion order
     std::vector<NamedValue> derived_;   ///< insertion order
@@ -89,8 +106,12 @@ class ResultSink
         master_seed_ = master_seed;
     }
 
-    /** Folds in one finished trial (called in deterministic order). */
-    void add(const TrialSpec &spec, const TrialResult &result);
+    /**
+     * Folds in one finished trial (called in deterministic order).
+     * Skipped outcomes must not reach the sink: a skipped trial is
+     * absent from the output, never an empty record.
+     */
+    void add(const TrialSpec &spec, const TrialOutcome &outcome);
 
     /** Scenario accessor; creates the scenario on first use. */
     ScenarioAggregate &scenario(std::string_view name);

@@ -1,32 +1,125 @@
 #include "runner/sweep.hh"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
 #include <exception>
-#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <unordered_map>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "runner/journal.hh"
 #include "runner/thread_pool.hh"
 
 namespace anvil::runner {
 namespace {
 
-TrialResult
-run_one(const TrialSpec &spec, const TrialFn &fn)
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void
+shutdown_signal_handler(int)
 {
-    try {
-        return fn(TrialContext(spec));
-    } catch (const std::exception &e) {
-        TrialResult result;
-        result.set_error(e.what());
-        return result;
-    } catch (...) {
-        TrialResult result;
-        result.set_error("unknown exception");
-        return result;
+    // Async-signal-safe: a lock-free atomic store and nothing else.
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+/** True when trial outcomes should be journaled for these options. */
+bool
+journaling_enabled(const SweepOptions &options)
+{
+    return !options.replay_trial && !options.json_out.empty() &&
+           options.json_out != "-";
+}
+
+std::string
+boundary_error(const char *what_happened, const TrialSpec &spec,
+               const std::exception &cause)
+{
+    return Error(what_happened)
+        .with("scenario", spec.scenario)
+        .with("trial", spec.trial)
+        .with_hex("seed", spec.seed)
+        .caused_by(cause)
+        .what();
+}
+
+/**
+ * The per-trial error boundary: runs @p fn with fault injection, the
+ * watchdog, and deterministic retries. Never throws — every failure mode
+ * becomes a structured outcome.
+ */
+TrialOutcome
+run_one(const TrialSpec &spec, const TrialFn &fn,
+        const SweepOptions &options, const FaultPlan &faults)
+{
+    const FaultSpec *fault = faults.match(spec);
+    const unsigned max_attempts = 1 + options.retries;
+    TrialOutcome outcome;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        outcome = TrialOutcome{};
+        outcome.attempts = attempt;
+        try {
+            // The context (and therefore every seed stream) is re-derived
+            // identically on every attempt: a retry that succeeds yields
+            // the result the trial would always have produced.
+            TrialContext ctx(spec);
+            ctx.watchdog().arm(options.trial_timeout);
+            if (fault != nullptr)
+                FaultPlan::inject_before(*fault, ctx, attempt);
+            outcome.result = fn(ctx);
+            if (fault != nullptr)
+                FaultPlan::inject_after(*fault, spec, outcome.result);
+            outcome.status = TrialStatus::kOk;
+            return outcome;
+        } catch (const TimeoutError &e) {
+            // Deterministic by construction: a retry would burn the whole
+            // budget again and time out at the identical event, so don't.
+            outcome.status = TrialStatus::kTimedOut;
+            outcome.error = boundary_error("trial timed out", spec, e);
+            return outcome;
+        } catch (const std::exception &e) {
+            outcome.status = TrialStatus::kFailed;
+            outcome.error = boundary_error("trial failed", spec, e);
+        } catch (...) {
+            outcome.status = TrialStatus::kFailed;
+            outcome.error = boundary_error(
+                "trial failed", spec, Error("unknown exception"));
+        }
     }
+    return outcome;
 }
 
 }  // namespace
+
+void
+request_shutdown()
+{
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool
+shutdown_requested()
+{
+    return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void
+clear_shutdown()
+{
+    g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+void
+install_signal_handlers()
+{
+    std::signal(SIGINT, shutdown_signal_handler);
+    std::signal(SIGTERM, shutdown_signal_handler);
+}
 
 Sweep::Sweep(SweepOptions options) : options_(std::move(options)) {}
 
@@ -55,7 +148,7 @@ Sweep::plan() const
     return pending;
 }
 
-ResultSink
+SweepRun
 Sweep::run()
 {
     std::vector<Pending> pending = plan();
@@ -77,56 +170,204 @@ Sweep::run()
         }
     }
 
+    SweepRun run;
+    run.outcomes.resize(pending.size());
+    std::vector<bool> replayed(pending.size(), false);
+
+    // Checkpoint/resume: replay the journal, validate each record against
+    // the plan (the sweep definition must not have changed under us), and
+    // pre-fill those slots so only the remainder executes.
+    const bool journaling = journaling_enabled(options_);
+    const std::string jpath = journal_path(options_.json_out);
+    if (options_.resume && journaling) {
+        for (JournalRecord &rec :
+             read_journal(jpath, options_.name, options_.master_seed)) {
+            const std::uint64_t i = rec.spec.global_index;
+            if (i >= pending.size() ||
+                pending[i].spec.scenario != rec.spec.scenario ||
+                pending[i].spec.trial != rec.spec.trial ||
+                pending[i].spec.seed != rec.spec.seed) {
+                throw Error("journal record does not match the sweep plan "
+                            "(the sweep definition or flags changed); "
+                            "delete the journal or rerun without --resume")
+                    .with("path", jpath)
+                    .with("record_trial", rec.spec.global_index)
+                    .with("record_scenario", rec.spec.scenario);
+            }
+            run.outcomes[i] = std::move(rec.outcome);
+            replayed[i] = true;
+            ++run.resumed;
+        }
+    }
+
+    JournalWriter journal;
+    if (journaling) {
+        try {
+            journal.open(jpath, options_.name, options_.master_seed,
+                         /*append=*/options_.resume);
+        } catch (const Error &e) {
+            // A journal we cannot resume from is a configuration fault;
+            // a journal we merely cannot create is not worth killing the
+            // sweep over — run unjournaled and let the final report
+            // write surface the unwritable path as its own exit code.
+            if (options_.resume)
+                throw;
+            std::cerr << "[runner] " << options_.name
+                      << ": running without a checkpoint journal: "
+                      << e.what() << "\n";
+        }
+    }
+
     const unsigned jobs =
         options_.replay_trial
             ? 1u
             : (options_.jobs != 0 ? options_.jobs
                                   : ThreadPool::default_threads());
-    jobs_used_ = jobs;
+    run.jobs_used = jobs;
+
+    const FaultPlan faults(options_.faults);
+    const auto execute = [&](std::size_t i) {
+        // The drain point: a shutdown request skips every trial that has
+        // not started yet; in-flight trials run to completion.
+        if (shutdown_requested()) {
+            run.outcomes[i].status = TrialStatus::kSkipped;
+            return;
+        }
+        run.outcomes[i] =
+            run_one(pending[i].spec, *pending[i].fn, options_, faults);
+        if (journaling) {
+            // append() no-ops (under its lock) once the journal is
+            // closed — is_open() here would race with the close below.
+            try {
+                journal.append(pending[i].spec, run.outcomes[i]);
+            } catch (const Error &e) {
+                // Journal I/O died mid-run (disk full, volume gone).
+                // Checkpointing is best-effort: keep the sweep alive,
+                // stop journaling — a crash from here is no longer
+                // resumable, which beats losing the run now.
+                journal.close();
+                std::cerr << "[runner] " << options_.name
+                          << ": checkpoint journaling disabled: "
+                          << e.what() << "\n";
+            }
+        }
+    };
 
     const auto wall_start = std::chrono::steady_clock::now();
-    std::vector<TrialResult> results(pending.size());
     if (jobs <= 1 || pending.size() <= 1) {
-        for (std::size_t i = 0; i < pending.size(); ++i)
-            results[i] = run_one(pending[i].spec, *pending[i].fn);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (!replayed[i])
+                execute(i);
+        }
     } else {
         ThreadPool pool(jobs);
         for (std::size_t i = 0; i < pending.size(); ++i) {
             // Each task writes only its own pre-allocated slot;
             // wait_idle() publishes all slots to this thread.
-            pool.submit([this, &pending, &results, i] {
-                results[i] = run_one(pending[i].spec, *pending[i].fn);
-            });
+            if (!replayed[i])
+                pool.submit([&execute, i] { execute(i); });
         }
         pool.wait_idle();
     }
-    wall_seconds_ = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - wall_start)
-                        .count();
+    run.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+    journal.close();
 
     // Aggregate strictly in plan order: output is independent of the
-    // completion order above.
-    ResultSink sink;
-    sink.set_meta(options_.name, options_.master_seed);
-    for (std::size_t i = 0; i < pending.size(); ++i)
-        sink.add(pending[i].spec, results[i]);
+    // completion order above, and of which trials were journal replays.
+    run.sink.set_meta(options_.name, options_.master_seed);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const TrialOutcome &outcome = run.outcomes[i];
+        switch (outcome.status) {
+          case TrialStatus::kSkipped:
+              ++run.skipped;
+              continue;
+          case TrialStatus::kOk:
+              ++run.completed;
+              break;
+          case TrialStatus::kFailed:
+          case TrialStatus::kTimedOut:
+              ++run.failed;
+              break;
+        }
+        run.sink.add(pending[i].spec, outcome);
+    }
 
     for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (results[i].failed()) {
-            std::cerr << "[runner] " << options_.name << " trial #"
-                      << pending[i].spec.global_index << " ("
-                      << pending[i].spec.scenario << "/"
-                      << pending[i].spec.trial
-                      << ") failed: " << results[i].error()
-                      << " (replay with --jobs 1 --replay-trial "
-                      << pending[i].spec.global_index << ")\n";
-        }
+        const TrialOutcome &outcome = run.outcomes[i];
+        if (!outcome.failed())
+            continue;
+        std::cerr << "[runner] " << options_.name << " trial #"
+                  << pending[i].spec.global_index << " ("
+                  << pending[i].spec.scenario << "/"
+                  << pending[i].spec.trial << ") "
+                  << to_string(outcome.status);
+        if (outcome.attempts > 1)
+            std::cerr << " after " << outcome.attempts << " attempts";
+        std::cerr << ": " << outcome.error
+                  << " (replay with --jobs 1 --replay-trial "
+                  << pending[i].spec.global_index << ")\n";
     }
     std::cerr << "[runner] " << options_.name << ": " << pending.size()
-              << " trial(s) on " << jobs << " job(s) in " << wall_seconds_
-              << " s\n";
-    return sink;
+              << " trial(s) on " << jobs << " job(s) in "
+              << run.wall_seconds << " s";
+    if (run.resumed != 0)
+        std::cerr << ", " << run.resumed << " resumed from journal";
+    if (run.failed != 0)
+        std::cerr << ", " << run.failed << " failed";
+    if (run.skipped != 0)
+        std::cerr << ", " << run.skipped << " skipped (shutdown drain)";
+    std::cerr << "\n";
+    return run;
 }
+
+namespace {
+
+/**
+ * Durably commits @p data to @p path: write a sibling temp file, fsync
+ * it, then rename over the destination — a crash leaves either the old
+ * committed artifact or the new one, never a torn hybrid.
+ */
+bool
+atomic_write_file(const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        std::cerr << "[runner] cannot open " << tmp
+                  << " for writing: " << std::strerror(errno) << "\n";
+        return false;
+    }
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::cerr << "[runner] error writing " << tmp << ": "
+                      << std::strerror(errno) << "\n";
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "[runner] cannot rename " << tmp << " to " << path
+                  << ": " << std::strerror(errno) << "\n";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
 
 bool
 write_json_output(const ResultSink &sink, const SweepOptions &options)
@@ -137,18 +378,32 @@ write_json_output(const ResultSink &sink, const SweepOptions &options)
         sink.write_json(std::cout);
         return true;
     }
-    std::ofstream out(options.json_out);
-    if (!out) {
-        std::cerr << "[runner] cannot open " << options.json_out
-                  << " for writing\n";
-        return false;
-    }
+    std::ostringstream out;
     sink.write_json(out);
-    if (!out) {
-        std::cerr << "[runner] error writing " << options.json_out << "\n";
-        return false;
+    return atomic_write_file(options.json_out, out.str());
+}
+
+int
+finish_sweep(const SweepRun &run, const SweepOptions &options)
+{
+    const bool journaling = journaling_enabled(options);
+    if (!run.complete()) {
+        std::cerr << "[runner] " << options.name << ": interrupted — "
+                  << run.skipped << " trial(s) not run";
+        if (journaling) {
+            std::cerr << "; resume with --resume (journal: "
+                      << journal_path(options.json_out) << ")";
+        }
+        std::cerr << "\n";
+        // No JSON: a partial report must never overwrite a committed one.
+        return kExitPartial;
     }
-    return true;
+    if (!write_json_output(run.sink, options))
+        return kExitJsonError;
+    // The report is durably committed; the checkpoint is now redundant.
+    if (journaling)
+        std::remove(journal_path(options.json_out).c_str());
+    return run.failed != 0 ? kExitTrialFailure : kExitOk;
 }
 
 }  // namespace anvil::runner

@@ -54,7 +54,14 @@ ThreadPool::worker_loop()
         queue_.pop_front();
         ++active_;
         lock.unlock();
-        task();
+        try {
+            task();
+        } catch (...) {
+            // A task that throws must not terminate the worker (and with
+            // it the process): the pool stays usable, the queue drains.
+            // Tasks that care about failures catch them themselves — the
+            // sweep's trial boundary does exactly that.
+        }
         lock.lock();
         --active_;
         if (queue_.empty() && active_ == 0)

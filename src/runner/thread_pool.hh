@@ -35,8 +35,10 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueues @p task. Tasks must not throw — wrap fallible work in its
-     * own try/catch (the Sweep records failures in the trial result).
+     * Enqueues @p task. An exception escaping the task is swallowed by
+     * the worker (the pool survives, the queue keeps draining) — tasks
+     * that need to observe failures must catch and record them
+     * themselves, as the Sweep's trial error boundary does.
      */
     void submit(std::function<void()> task);
 

@@ -34,4 +34,16 @@ sub_seed(std::uint64_t seed, std::string_view stream)
     return splitmix64(seed ^ fnv1a(stream));
 }
 
+std::string_view
+to_string(TrialStatus status)
+{
+    switch (status) {
+      case TrialStatus::kOk: return "ok";
+      case TrialStatus::kFailed: return "failed";
+      case TrialStatus::kTimedOut: return "timed_out";
+      case TrialStatus::kSkipped: return "skipped";
+    }
+    return "unknown";
+}
+
 }  // namespace anvil::runner

@@ -9,6 +9,13 @@
  * trial index) — never from global state, wall-clock time, or thread
  * identity — so any trial can be replayed serially, and a parallel sweep
  * aggregates to bit-identical results as a serial one.
+ *
+ * Fault tolerance rests on the same property: a trial that fails is
+ * captured as a structured TrialOutcome (never an escaped exception), a
+ * retried trial re-derives the identical seed (so a flaky-infra retry
+ * cannot change results), and a runaway trial is bounded by a Watchdog
+ * counting simulated events — not wall-clock time — so timeouts are
+ * reproducible too.
  */
 #ifndef ANVIL_RUNNER_TRIAL_HH
 #define ANVIL_RUNNER_TRIAL_HH
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "anvil/anvil.hh"
+#include "common/error.hh"
 #include "dram/dram_system.hh"
 
 namespace anvil::runner {
@@ -46,6 +54,53 @@ std::uint64_t trial_seed(std::uint64_t master_seed,
  */
 std::uint64_t sub_seed(std::uint64_t seed, std::string_view stream);
 
+/**
+ * Deterministic per-trial deadline: a budget of simulated events (memory
+ * accesses). The trial body charges events via tick(); exhausting the
+ * budget throws TimeoutError, which the sweep records as a timed-out
+ * outcome. Counting simulated work instead of wall-clock time keeps the
+ * abort point identical across machines, thread counts, and reruns.
+ */
+class Watchdog
+{
+  public:
+    /** Sets the budget; 0 disarms (tick becomes a no-op). */
+    void
+    arm(std::uint64_t budget)
+    {
+        budget_ = budget;
+        used_ = 0;
+    }
+
+    bool armed() const { return budget_ != 0; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t budget() const { return budget_; }
+
+    /**
+     * Charges @p n simulated events.
+     * @throw TimeoutError once the budget is exhausted.
+     */
+    void
+    tick(std::uint64_t n = 1)
+    {
+        if (budget_ == 0)
+            return;
+        used_ += n;
+        if (used_ >= budget_) {
+            // Built before the throw: with() returns Error&, and throwing
+            // through that reference would slice away the TimeoutError
+            // type the sweep's timed-out classification depends on.
+            TimeoutError e("trial exceeded its simulated-event budget");
+            e.with("budget", budget_);
+            throw e;
+        }
+    }
+
+  private:
+    std::uint64_t budget_ = 0;
+    std::uint64_t used_ = 0;
+};
+
 /** Everything a trial body may consult. Cheap to copy. */
 class TrialContext
 {
@@ -62,8 +117,18 @@ class TrialContext
         return sub_seed(spec_.seed, stream);
     }
 
+    /**
+     * The trial's deadline counter. Trial bodies that simulate machines
+     * should charge one tick per simulated access (ScenarioBuilder wires
+     * this automatically); unarmed watchdogs make tick() free.
+     */
+    Watchdog &watchdog() const { return watchdog_; }
+
   private:
     TrialSpec spec_;
+    /// Charged through const contexts: the watchdog is bookkeeping about
+    /// the trial's execution, not part of its observable inputs.
+    mutable Watchdog watchdog_;
 };
 
 /**
@@ -105,16 +170,19 @@ class TrialResult
         has_dram_ = true;
     }
 
-    /** Marks the trial failed; failed trials aggregate only as errors. */
-    void set_error(std::string what) { error_ = std::move(what); }
-
     const std::vector<std::pair<std::string, double>> &
     values() const
     {
         return values_;
     }
+    std::vector<std::pair<std::string, double>> &values() { return values_; }
     const std::vector<std::pair<std::string, std::uint64_t>> &
     counters() const
+    {
+        return counters_;
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> &
+    counters()
     {
         return counters_;
     }
@@ -122,8 +190,6 @@ class TrialResult
     const detector::AnvilStats &anvil() const { return anvil_; }
     bool has_dram() const { return has_dram_; }
     const dram::DramSystem::Stats &dram() const { return dram_; }
-    bool failed() const { return !error_.empty(); }
-    const std::string &error() const { return error_; }
 
   private:
     std::vector<std::pair<std::string, double>> values_;
@@ -132,7 +198,38 @@ class TrialResult
     dram::DramSystem::Stats dram_;
     bool has_anvil_ = false;
     bool has_dram_ = false;
-    std::string error_;
+};
+
+/** How one trial ended. */
+enum class TrialStatus : std::uint8_t {
+    kOk = 0,        ///< result is valid
+    kFailed = 1,    ///< an exception escaped the trial body
+    kTimedOut = 2,  ///< the watchdog budget was exhausted
+    kSkipped = 3,   ///< never ran (shutdown drain); absent from output
+};
+
+/** JSON/journal name of a status ("ok", "failed", "timed_out", ...). */
+std::string_view to_string(TrialStatus status);
+
+/**
+ * The structured record of one trial's execution: its classification,
+ * the result (valid only when ok), the rendered error chain (failed or
+ * timed-out), and how many attempts were spent (> 1 when --retries
+ * re-ran a failing trial with its identical re-derived seed).
+ */
+struct TrialOutcome {
+    TrialStatus status = TrialStatus::kOk;
+    TrialResult result;
+    std::string error;
+    std::uint32_t attempts = 1;
+
+    bool ok() const { return status == TrialStatus::kOk; }
+    bool
+    failed() const
+    {
+        return status == TrialStatus::kFailed ||
+               status == TrialStatus::kTimedOut;
+    }
 };
 
 }  // namespace anvil::runner

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runner/sweep.hh"
+#include "scenario/validate.hh"
 #include "workload/profile.hh"
 
 namespace anvil::scenario {
@@ -70,6 +71,8 @@ ScenarioBuilder::draw(const PhaseJitter &jitter) const
 Execution &
 ScenarioBuilder::build()
 {
+    validate(spec_);
+
     exec_ = std::make_unique<Execution>();
     Execution &e = *exec_;
 
@@ -82,6 +85,15 @@ ScenarioBuilder::build()
     } else {
         e.machine_ = std::make_unique<mem::MemorySystem>(e.config_);
         e.pmu_ = std::make_unique<pmu::Pmu>(*e.machine_);
+    }
+
+    if (ctx_.watchdog().armed()) {
+        // Every completed memory access ticks the trial's event budget:
+        // the watchdog fires at the same simulated event no matter how
+        // trials are scheduled, so timeouts are deterministic.
+        runner::Watchdog *wd = &ctx_.watchdog();
+        e.machine().add_observer(
+            [wd](const mem::AccessInfo &) { wd->tick(); });
     }
 
     switch (spec_.mitigation) {
@@ -348,9 +360,11 @@ ScenarioBuilder::run_trial(const ScenarioSpec &spec,
     return builder.emit();
 }
 
-runner::ResultSink
+runner::SweepRun
 run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
 {
+    validate(spec);
+
     cli.sweep.name = spec.name;
     runner::Sweep sweep(cli.sweep);
     for (const ScenarioSpec &cell : spec.cells) {
@@ -362,10 +376,10 @@ run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
                                return ScenarioBuilder::run_trial(cell, ctx);
                            });
     }
-    runner::ResultSink sink = sweep.run();
+    runner::SweepRun run = sweep.run();
     if (spec.finalize)
-        spec.finalize(sink);
-    return sink;
+        spec.finalize(run.sink);
+    return run;
 }
 
 }  // namespace anvil::scenario

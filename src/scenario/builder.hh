@@ -148,14 +148,16 @@ class ScenarioBuilder
 
 /**
  * Runs a whole SweepSpec on the parallel experiment runner with the
- * shared CLI options (--jobs/--master-seed/--trials/--replay-trial),
- * applying per-cell fixed trial counts and the sweep's finalize hook.
- * Sets cli.sweep.name to the sweep's name. Both the per-table bench
- * binaries and the anvil-sim driver funnel through here, so their
- * anvil-sweep-v1 JSON is identical.
+ * shared CLI options (--jobs/--master-seed/--trials/--replay-trial plus
+ * the fault-tolerance flags --retries/--trial-timeout/--resume/
+ * --inject-fault), applying per-cell fixed trial counts and the sweep's
+ * finalize hook (on the run's sink). Sets cli.sweep.name to the sweep's
+ * name. Both the per-table bench binaries and the anvil-sim driver
+ * funnel through here, so their anvil-sweep-v1 JSON is identical.
+ * @throw Error when the spec fails validation (validate.hh) or a
+ *        --resume journal does not belong to this sweep.
  */
-runner::ResultSink run_sweep(const SweepSpec &spec,
-                             runner::CliOptions &cli);
+runner::SweepRun run_sweep(const SweepSpec &spec, runner::CliOptions &cli);
 
 }  // namespace anvil::scenario
 

@@ -1,0 +1,207 @@
+#include "scenario/validate.hh"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/bits.hh"
+#include "common/error.hh"
+#include "workload/profile.hh"
+
+namespace anvil::scenario {
+namespace {
+
+/** Error with the scenario name already attached. */
+Error
+cell_error(const ScenarioSpec &spec, const std::string &message)
+{
+    return Error(message).with("scenario", spec.name);
+}
+
+void
+require_pow2(const ScenarioSpec &spec, const char *field, std::uint64_t v)
+{
+    if (v == 0 || !is_pow2(v)) {
+        throw cell_error(spec,
+                         std::string(field) +
+                             " must be a nonzero power of two (the set "
+                             "index is taken from address bits)")
+            .with("value", v);
+    }
+}
+
+void
+require_nonzero(const ScenarioSpec &spec, const char *field, std::uint64_t v)
+{
+    if (v == 0)
+        throw cell_error(spec, std::string(field) + " must be nonzero");
+}
+
+std::string
+known_profiles()
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const workload::SpecProfile &p : workload::spec2006_int()) {
+        os << (first ? "" : ", ") << p.name;
+        first = false;
+    }
+    return os.str();
+}
+
+bool
+needs_attack(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::kHammerToFirstFlip:
+      case RunMode::kHammerUntilFlipOrDeadline:
+      case RunMode::kPatternMeasure:
+          return true;
+      case RunMode::kInterleaveFor:
+      case RunMode::kWorkloadOps:
+          return false;
+    }
+    return false;
+}
+
+bool
+needs_detector(Output output)
+{
+    switch (output) {
+      case Output::kDetections:
+      case Output::kSelectiveRefreshes:
+      case Output::kDetectMs:
+      case Output::kFpPerSec:
+      case Output::kFalsePositiveRefreshes:
+          return true;
+      default:
+          return false;
+    }
+}
+
+bool
+needs_testbed(Output output)
+{
+    switch (output) {
+      case Output::kFlips:
+      case Output::kAttackMs:
+          return true;
+      default:
+          return false;
+    }
+}
+
+}  // namespace
+
+void
+validate(const ScenarioSpec &spec)
+{
+    if (spec.name.empty())
+        throw Error("scenario cell has an empty name (the name is the JSON "
+                    "row label and the trial-seed salt; it is required)");
+
+    const cache::HierarchyConfig &cache = spec.system.cache;
+    require_pow2(spec, "cache.l1_sets", cache.l1_sets);
+    require_pow2(spec, "cache.l2_sets", cache.l2_sets);
+    require_pow2(spec, "cache.llc_sets_per_slice",
+                 cache.llc_sets_per_slice);
+    require_nonzero(spec, "cache.l1_ways", cache.l1_ways);
+    require_nonzero(spec, "cache.l2_ways", cache.l2_ways);
+    require_nonzero(spec, "cache.llc_ways", cache.llc_ways);
+    require_nonzero(spec, "cache.llc_slices", cache.llc_slices);
+
+    const dram::DramConfig &dram = spec.system.dram;
+    require_nonzero(spec, "dram.channels", dram.channels);
+    require_nonzero(spec, "dram.ranks_per_channel",
+                    dram.ranks_per_channel);
+    require_nonzero(spec, "dram.banks_per_rank", dram.banks_per_rank);
+    if (dram.rows_per_bank == 0) {
+        throw cell_error(spec,
+                         "dram.rows_per_bank is zero — a rowhammer "
+                         "simulation needs rows to hammer");
+    }
+    require_pow2(spec, "dram.row_bytes", dram.row_bytes);
+    require_nonzero(spec, "dram.refresh_slots", dram.refresh_slots);
+    if (dram.refresh_period == 0) {
+        throw cell_error(spec,
+                         "dram.refresh_period is zero — every row would "
+                         "be refreshed continuously and no cell could "
+                         "ever flip");
+    }
+    if (dram.flip_threshold == 0) {
+        throw cell_error(spec,
+                         "dram.flip_threshold is zero — every activation "
+                         "would flip its neighbours immediately");
+    }
+
+    if (needs_attack(spec.run.mode) && spec.attacks.empty()) {
+        throw cell_error(spec,
+                         "this run mode drives a hammer kernel but the "
+                         "scenario declares no attacks — add an AttackSpec "
+                         "or switch to an interleave/workload run mode");
+    }
+    if (spec.run.mode == RunMode::kPatternMeasure &&
+        spec.run.iterations == 0) {
+        throw cell_error(spec,
+                         "run.iterations is zero — the pattern cost model "
+                         "divides per-iteration deltas by it");
+    }
+
+    for (const WorkloadSpec &ws : spec.workloads) {
+        try {
+            (void)workload::spec_profile(ws.profile);
+        } catch (const std::out_of_range &) {
+            throw cell_error(spec, "unknown workload profile")
+                .with("profile", ws.profile)
+                .with("known", known_profiles());
+        }
+    }
+
+    for (const Output output : spec.outputs) {
+        if (needs_detector(output) && !spec.detector) {
+            throw cell_error(spec,
+                             "an output reads detector statistics but the "
+                             "scenario runs unprotected — configure "
+                             "`detector` or drop the output");
+        }
+        if (needs_testbed(output) && spec.attacks.empty()) {
+            throw cell_error(spec,
+                             "an output reads attack results but the "
+                             "scenario declares no attacks");
+        }
+    }
+}
+
+void
+validate(const SweepSpec &spec)
+{
+    if (spec.name.empty())
+        throw Error("sweep has an empty name (it is the registry key and "
+                    "the JSON \"sweep\" field)");
+    if (spec.cells.empty()) {
+        throw Error("sweep has no cells — every table/figure needs at "
+                    "least one scenario")
+            .with("sweep", spec.name);
+    }
+    if (spec.default_trials == 0) {
+        throw Error("sweep default_trials is zero — cells without "
+                    "fixed_trials would run no trials at all")
+            .with("sweep", spec.name);
+    }
+    std::set<std::string> names;
+    for (const ScenarioSpec &cell : spec.cells) {
+        if (!names.insert(cell.name).second) {
+            throw Error("duplicate cell name — JSON rows and trial seeds "
+                        "are keyed by cell name, so each must be unique")
+                .with("sweep", spec.name)
+                .with("cell", cell.name);
+        }
+        try {
+            validate(cell);
+        } catch (Error &e) {
+            throw e.with("sweep", spec.name);
+        }
+    }
+}
+
+}  // namespace anvil::scenario

@@ -63,6 +63,69 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
     SUCCEED();
 }
 
+TEST(ThreadPool, SurvivesThrowingTasks)
+{
+    runner::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&, i] {
+            if (i % 3 == 0)
+                throw std::runtime_error("task blew up");
+            count.fetch_add(1);
+        });
+    }
+    pool.wait_idle();
+    // Every non-throwing task still ran; no worker died, no terminate.
+    EXPECT_EQ(count.load(), 13);
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 14);
+}
+
+// ---------------------------------------------------------------------------
+// Error + Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(Error, RendersContextAndCauseDeterministically)
+{
+    Error e = Error("trial failed")
+                  .with("scenario", std::string("alpha"))
+                  .with("trial", std::uint64_t{3})
+                  .with_hex("seed", 0xbeef)
+                  .caused_by(std::runtime_error("boom"));
+    EXPECT_STREQ(e.what(),
+                 "trial failed [scenario=alpha, trial=3, seed=0xbeef]: "
+                 "caused by: boom");
+}
+
+TEST(Error, NestedCausesFlattenIntoOneChain)
+{
+    const Error inner = Error("disk unhappy").with("path", std::string("x"));
+    const Error outer = Error("journal write failed").caused_by(inner);
+    EXPECT_STREQ(outer.what(), "journal write failed: caused by: "
+                               "disk unhappy [path=x]");
+}
+
+TEST(Watchdog, UnarmedNeverFires)
+{
+    runner::Watchdog wd;
+    EXPECT_FALSE(wd.armed());
+    for (int i = 0; i < 1000; ++i)
+        wd.tick();
+    EXPECT_EQ(wd.used(), 0u);
+}
+
+TEST(Watchdog, FiresExactlyAtItsBudget)
+{
+    runner::Watchdog wd;
+    wd.arm(10);
+    EXPECT_TRUE(wd.armed());
+    for (int i = 0; i < 9; ++i)
+        wd.tick();
+    EXPECT_EQ(wd.used(), 9u);
+    EXPECT_THROW(wd.tick(), TimeoutError);
+}
+
 // ---------------------------------------------------------------------------
 // Seed derivation
 // ---------------------------------------------------------------------------
@@ -169,9 +232,9 @@ run_synthetic_json(unsigned jobs)
     runner::Sweep sweep(synthetic_options(jobs));
     sweep.add_scenario("alpha", 25, synthetic_trial);
     sweep.add_scenario("beta", 25, synthetic_trial);
-    const runner::ResultSink sink = sweep.run();
+    const runner::SweepRun run = sweep.run();
     std::ostringstream os;
-    sink.write_json(os);
+    run.sink.write_json(os);
     return os.str();
 }
 
@@ -192,7 +255,8 @@ TEST(Sweep, ReplaySelectsExactlyOneTrial)
     runner::Sweep sweep(opts);
     sweep.add_scenario("alpha", 25, synthetic_trial);
     sweep.add_scenario("beta", 25, synthetic_trial);
-    const runner::ResultSink sink = sweep.run();
+    const runner::SweepRun run = sweep.run();
+    const runner::ResultSink &sink = run.sink;
 
     ASSERT_EQ(sink.total_trials(), 1u);
     const runner::ScenarioAggregate *beta = sink.find("beta");
@@ -211,12 +275,24 @@ TEST(Sweep, TrialExceptionBecomesErrorNotCrash)
             throw std::runtime_error("boom");
         return synthetic_trial(ctx);
     });
-    const runner::ResultSink sink = sweep.run();
+    const runner::SweepRun run = sweep.run();
+    const runner::ResultSink &sink = run.sink;
     const runner::ScenarioAggregate *agg = sink.find("flaky");
     ASSERT_NE(agg, nullptr);
     EXPECT_EQ(agg->trials(), 4u);
     EXPECT_EQ(agg->errors(), 1u);
     EXPECT_EQ(sink.total_errors(), 1u);
+    EXPECT_EQ(run.failed, 1u);
+    EXPECT_EQ(run.completed, 3u);
+    EXPECT_TRUE(run.complete());
+    // The failure is a record, not just a counter: scenario, cause, and
+    // the trial's own seed all land in the rendered error.
+    ASSERT_EQ(agg->failures().size(), 1u);
+    const runner::TrialFailure &failure = agg->failures().front();
+    EXPECT_EQ(failure.trial, 2u);
+    EXPECT_EQ(failure.status, runner::TrialStatus::kFailed);
+    EXPECT_NE(failure.error.find("boom"), std::string::npos);
+    EXPECT_NE(failure.error.find("scenario=flaky"), std::string::npos);
     // Only the three healthy trials contribute observations.
     ASSERT_NE(agg->value_stat("seed_unit"), nullptr);
     EXPECT_EQ(agg->value_stat("seed_unit")->count(), 3u);
@@ -226,7 +302,8 @@ TEST(Sweep, DerivedValuesAppearInJson)
 {
     runner::Sweep sweep(synthetic_options(1));
     sweep.add_scenario("alpha", 2, synthetic_trial);
-    runner::ResultSink sink = sweep.run();
+    runner::SweepRun run = sweep.run();
+    runner::ResultSink &sink = run.sink;
     sink.set_derived("alpha", "twice_mean",
                      2.0 * sink.scenario("alpha").value_mean("seed_unit"));
     std::ostringstream os;
@@ -256,6 +333,32 @@ TEST(CliOptions, ParsesRunnerFlagsAndPositionals)
     ASSERT_EQ(opts.positional.size(), 1u);
     EXPECT_DOUBLE_EQ(opts.positional_double(0, 3.0), 2.5);
     EXPECT_DOUBLE_EQ(opts.positional_double(1, 3.0), 3.0);
+}
+
+TEST(CliOptions, ParsesFaultToleranceFlags)
+{
+    const char *argv[] = {"bench",
+                          "--retries",
+                          "2",
+                          "--trial-timeout=5000",
+                          "--json-out",
+                          "out.json",
+                          "--resume",
+                          "--inject-fault",
+                          "throw@alpha:3",
+                          "--inject-fault=hang@beta:0"};
+    runner::CliOptions opts = runner::CliOptions::parse(
+        static_cast<int>(std::size(argv)), const_cast<char **>(argv));
+    EXPECT_EQ(opts.sweep.retries, 2u);
+    EXPECT_EQ(opts.sweep.trial_timeout, 5000u);
+    EXPECT_TRUE(opts.sweep.resume);
+    ASSERT_EQ(opts.sweep.faults.size(), 2u);
+    EXPECT_EQ(opts.sweep.faults[0].kind, runner::FaultKind::kThrow);
+    EXPECT_EQ(opts.sweep.faults[0].scenario, "alpha");
+    EXPECT_EQ(opts.sweep.faults[0].trial, 3u);
+    EXPECT_EQ(opts.sweep.faults[1].kind, runner::FaultKind::kHang);
+    EXPECT_EQ(opts.sweep.faults[1].scenario, "beta");
+    EXPECT_EQ(opts.sweep.faults[1].trial, 0u);
 }
 
 TEST(CliOptions, DefaultsLeaveBenchDefaultsAlone)
@@ -333,9 +436,9 @@ run_detection_sweep_json(unsigned jobs)
     runner::Sweep sweep(opts);
     sweep.add_scenario("clflush/phase-a", 2, detection_trial);
     sweep.add_scenario("clflush/phase-b", 2, detection_trial);
-    const runner::ResultSink sink = sweep.run();
+    const runner::SweepRun run = sweep.run();
     std::ostringstream os;
-    sink.write_json(os);
+    run.sink.write_json(os);
     return os.str();
 }
 

@@ -11,10 +11,12 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/error.hh"
 #include "runner/options.hh"
 #include "scenario/builder.hh"
 #include "scenario/registry.hh"
 #include "scenario/spec.hh"
+#include "scenario/validate.hh"
 
 using namespace anvil;
 
@@ -176,11 +178,111 @@ TEST(ScenarioGolden, Table3MatchesPreRefactorJson)
     cli.sweep.jobs = 2;
     scenario::SweepSpec spec =
         scenario::paper_registry().at("table3_detection").make(cli);
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
 
     std::ostringstream produced;
-    sink.write_json(produced);
+    run.sink.write_json(produced);
     EXPECT_EQ(produced.str(), golden.str());
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation
+// ---------------------------------------------------------------------------
+
+/** EXPECT that validate(spec) throws and the message mentions @p token. */
+void
+expect_invalid(const scenario::ScenarioSpec &spec, const char *token)
+{
+    try {
+        scenario::validate(spec);
+        FAIL() << "validate() accepted a spec that should fail (" << token
+               << ")";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+            << "actual message: " << e.what();
+        EXPECT_NE(std::string(e.what()).find(spec.name), std::string::npos)
+            << "message must name the offending scenario: " << e.what();
+    }
+}
+
+TEST(Validate, AcceptsEveryCatalogSweep)
+{
+    runner::CliOptions cli;
+    for (const scenario::SweepFactory &factory :
+         scenario::paper_registry().all()) {
+        EXPECT_NO_THROW(scenario::validate(factory.make(cli)))
+            << factory.name;
+    }
+}
+
+TEST(Validate, RejectsNonPowerOfTwoCacheSets)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.system.cache.llc_sets_per_slice = 1000;
+    expect_invalid(spec, "llc_sets_per_slice");
+}
+
+TEST(Validate, RejectsZeroRowDram)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.system.dram.rows_per_bank = 0;
+    expect_invalid(spec, "rows_per_bank");
+}
+
+TEST(Validate, RejectsHammerModeWithoutAttack)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.attacks.clear();
+    spec.run.mode = scenario::RunMode::kHammerToFirstFlip;
+    spec.outputs.clear();
+    expect_invalid(spec, "no attacks");
+}
+
+TEST(Validate, RejectsUnknownWorkloadProfileWithKnownNames)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.workloads.push_back({"mfc", "", false});  // typo of "mcf"
+    try {
+        scenario::validate(spec);
+        FAIL() << "unknown profile accepted";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("mfc"), std::string::npos) << what;
+        EXPECT_NE(what.find("mcf"), std::string::npos)
+            << "message must list the known profiles: " << what;
+    }
+}
+
+TEST(Validate, RejectsDetectorOutputsOnUnprotectedScenario)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.detector.reset();
+    expect_invalid(spec, "detector");
+}
+
+TEST(Validate, RejectsEmptyAndDuplicateSweeps)
+{
+    scenario::SweepSpec sweep;
+    sweep.name = "test-sweep";
+    EXPECT_THROW(scenario::validate(sweep), Error);  // no cells
+
+    sweep.cells = {detection_spec(), detection_spec()};
+    try {
+        scenario::validate(sweep);
+        FAIL() << "duplicate cell names accepted";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Validate, BuilderRefusesToBuildAnInvalidSpec)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.system.cache.l1_sets = 63;
+    scenario::ScenarioBuilder builder(spec, context_for(spec, 0));
+    EXPECT_THROW(builder.build(), Error);
 }
 
 }  // namespace

@@ -11,12 +11,21 @@
  * `anvil-sweep-v1` JSON report. The per-table bench binaries render the
  * paper's human-readable tables over the same definitions; output from
  * this driver is the machine-readable path (--json-out PATH or "-").
+ *
+ * Exit codes (runner::ExitCode): 0 = complete and all trials ok;
+ * 1 = report not writable; 2 = usage error; 3 = interrupted
+ * (SIGINT/SIGTERM drained the sweep — rerun with --resume); 4 = complete
+ * but at least one trial failed (see the JSON "failures" records).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/error.hh"
 #include "runner/options.hh"
+#include "runner/sweep.hh"
 #include "scenario/builder.hh"
 #include "scenario/registry.hh"
 
@@ -38,6 +47,48 @@ print_list()
     }
 }
 
+/** Edit distance between two names (classic dynamic program). */
+std::size_t
+edit_distance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The registered sweep closest to @p name, or nullptr if nothing near. */
+const scenario::SweepFactory *
+nearest_sweep(const std::string &name)
+{
+    const scenario::SweepFactory *best = nullptr;
+    std::size_t best_distance = 0;
+    for (const scenario::SweepFactory &factory :
+         scenario::paper_registry().all()) {
+        const std::size_t d = edit_distance(name, factory.name);
+        if (best == nullptr || d < best_distance) {
+            best = &factory;
+            best_distance = d;
+        }
+    }
+    // Only suggest a genuinely near miss: a typo, a dropped prefix —
+    // not an arbitrary name that happens to be least far away.
+    const std::size_t cutoff =
+        best != nullptr ? std::max<std::size_t>(3, best->name.size() / 3)
+                        : 0;
+    return best != nullptr && best_distance <= cutoff ? best : nullptr;
+}
+
 }  // namespace
 
 int
@@ -48,7 +99,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) {
             print_list();
-            return 0;
+            return runner::kExitOk;
         }
     }
 
@@ -60,24 +111,42 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "anvil-sim: expected a scenario sweep name "
                      "(try --list)\n");
-        return 2;
+        return runner::kExitUsage;
     }
 
     const std::string name = cli.positional.front();
     const scenario::SweepFactory *factory =
         scenario::paper_registry().find(name);
     if (factory == nullptr) {
-        std::fprintf(stderr, "anvil-sim: unknown scenario sweep '%s'\n\n",
+        std::fprintf(stderr, "anvil-sim: unknown scenario sweep '%s'\n",
                      name.c_str());
+        if (const scenario::SweepFactory *near = nearest_sweep(name)) {
+            std::fprintf(stderr, "  did you mean '%s'?\n",
+                         near->name.c_str());
+        }
+        std::fprintf(stderr, "\n");
         print_list();
-        return 2;
+        return runner::kExitUsage;
     }
 
     // The sweep sees its own positionals exactly as its bench binary
     // would: argument 0 is the first after the sweep name.
     cli.positional.erase(cli.positional.begin());
 
-    const scenario::SweepSpec spec = factory->make(cli);
-    runner::ResultSink sink = scenario::run_sweep(spec, cli);
-    return runner::write_json_output(sink, cli.sweep) ? 0 : 1;
+    // SIGINT/SIGTERM drain the sweep instead of killing it: in-flight
+    // trials finish, the journal is flushed, and we exit kExitPartial so
+    // the run is resumable with --resume.
+    runner::install_signal_handlers();
+
+    try {
+        const scenario::SweepSpec spec = factory->make(cli);
+        runner::SweepRun run = scenario::run_sweep(spec, cli);
+        return runner::finish_sweep(run, cli.sweep);
+    } catch (const Error &e) {
+        // Configuration-level faults (spec validation, a --resume journal
+        // from a different sweep) — not per-trial failures, which the
+        // runner's error boundary already turned into outcomes.
+        std::fprintf(stderr, "anvil-sim: %s\n", e.what());
+        return runner::kExitUsage;
+    }
 }

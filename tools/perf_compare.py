@@ -12,18 +12,50 @@ adding or retiring scenarios does not require a lockstep baseline update.
 CI runners are noisy; the default 30% threshold is deliberately loose —
 this gate catches "accidentally reintroduced a per-access hash-map probe"
 scale regressions, not single-digit drift.
+
+Exit codes: 0 = no regression, 1 = regression, 2 = unreadable input (a
+missing, truncated, or malformed report — e.g. the producing job was
+killed mid-write), so CI can tell "the code got slower" from "the
+comparison never happened".
 """
 import argparse
 import json
 import sys
 
+EXIT_REGRESSION = 1
+EXIT_BAD_INPUT = 2
+
+
+def die_bad_input(path, why):
+    print(f"perf_compare: {path}: {why}", file=sys.stderr)
+    sys.exit(EXIT_BAD_INPUT)
+
 
 def load(path):
-    with open(path) as f:
-        report = json.load(f)
-    if report.get("schema") != "anvil-bench-v1":
-        sys.exit(f"{path}: not an anvil-bench-v1 report")
-    return {b["name"]: b["sim_accesses_per_sec"] for b in report["benchmarks"]}
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        die_bad_input(path, f"cannot read report: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die_bad_input(path, f"not valid JSON (truncated upload or torn "
+                            f"write?): {e}")
+    if not isinstance(report, dict) or report.get("schema") != "anvil-bench-v1":
+        die_bad_input(path, "not an anvil-bench-v1 report "
+                            f"(schema={report.get('schema')!r})"
+                      if isinstance(report, dict)
+                      else "not an anvil-bench-v1 report (top level is "
+                           f"{type(report).__name__}, expected object)")
+    out = {}
+    for i, b in enumerate(report.get("benchmarks") or []):
+        try:
+            out[b["name"]] = float(b["sim_accesses_per_sec"])
+        except (TypeError, KeyError, ValueError) as e:
+            die_bad_input(path, f"benchmarks[{i}] is malformed "
+                                f"(missing or non-numeric field): {e!r}")
+    if not out:
+        die_bad_input(path, "report contains no benchmarks")
+    return out
 
 
 def main():
@@ -57,7 +89,7 @@ def main():
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
               f"{args.max_regression:.0%}: {', '.join(failures)}")
-        return 1
+        return EXIT_REGRESSION
     print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}")
     return 0
 
