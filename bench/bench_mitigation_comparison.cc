@@ -32,10 +32,91 @@
 
 using namespace anvil;
 
+namespace {
+
+/**
+ * `bench_mitigation_comparison matrix`: renders the tracker-zoo
+ * mitigation_matrix sweep — miss rate of every registered tracker
+ * against every attack kind (on the next-generation module), plus the
+ * refresh-storm slowdown each tracker inflicts under tracker-thrash.
+ */
+int
+run_matrix(runner::CliOptions &cli)
+{
+    const scenario::SweepSpec spec =
+        scenario::paper_registry().at("mitigation_matrix").make(cli);
+    runner::install_signal_handlers();
+    runner::SweepRun run = scenario::run_sweep(spec, cli);
+    runner::ResultSink &sink = run.sink;
+
+    const char *trackers[] = {"none",         "para",
+                              "trr",          "ctrr-sampled",
+                              "ctrr-evict",   "ctrr-radius2",
+                              "rvc",          "dapper"};
+    const char *attacks[] = {"single-sided", "double-sided",
+                             "clflush-free", "half-double"};
+
+    TextTable table("Mitigation matrix: per-tracker miss rate by attack "
+                    "kind (next-gen module), thrash slowdown, and "
+                    "refresh volume under thrash");
+    table.set_header({"Tracker", "1-sided", "2-sided", "CLFLUSH-free",
+                      "half-double", "thrash slowdown",
+                      "refreshes/64ms (thrash)"});
+    const auto derived = [&](const std::string &cell, const char *name) {
+        const auto &agg = sink.scenario(cell);
+        const double trials = static_cast<double>(agg.trials());
+        if (std::string(name) == "miss_rate") {
+            return trials > 0.0
+                       ? static_cast<double>(agg.counter_sum("flipped")) /
+                             trials
+                       : 0.0;
+        }
+        return 0.0;
+    };
+    const double thrash_base =
+        sink.scenario("none/thrash").value_mean("run_ms");
+    for (const char *tracker : trackers) {
+        std::vector<std::string> row{tracker};
+        for (const char *attack : attacks) {
+            row.push_back(TextTable::fmt(
+                derived(std::string(tracker) + "/" + attack, "miss_rate"),
+                2));
+        }
+        const std::string thrash_cell = std::string(tracker) + "/thrash";
+        const auto &agg = sink.scenario(thrash_cell);
+        const double t = agg.value_mean("run_ms");
+        row.push_back(TextTable::fmt(
+            thrash_base > 0.0 ? t / thrash_base : 0.0, 4));
+        const auto *run_stat = agg.value_stat("run_ms");
+        const double run_ms_total =
+            run_stat != nullptr ? run_stat->sum() : 0.0;
+        row.push_back(TextTable::fmt(
+            run_ms_total > 0.0
+                ? static_cast<double>(
+                      agg.counter_sum("mitigation_refreshes")) /
+                      (run_ms_total / 64.0)
+                : 0.0,
+            1));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nmiss rate = fraction of trials where the attack "
+                 "still flipped a bit; thrash slowdown = mcf run time "
+                 "under tracker-thrash, normalized to the untracked "
+                 "machine.\n";
+    return runner::finish_sweep(run, cli.sweep);
+}
+
+}  // namespace
+
 int
 main(int argc, char **argv) try
 {
     runner::CliOptions cli = runner::CliOptions::parse(argc, argv);
+    if (!cli.positional.empty() && cli.positional.front() == "matrix") {
+        cli.positional.erase(cli.positional.begin());
+        return run_matrix(cli);
+    }
     const scenario::SweepSpec spec =
         scenario::paper_registry().at("mitigation_comparison").make(cli);
     runner::install_signal_handlers();

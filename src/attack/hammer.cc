@@ -131,4 +131,58 @@ ClflushFreeDoubleSided::iteration()
         mem_.access(pid_, t, AccessType::kLoad);
 }
 
+ClflushHalfDouble::ClflushHalfDouble(mem::MemorySystem &mem, Pid pid,
+                                     const HalfDoubleTarget &target,
+                                     std::uint64_t near_touch_interval)
+    : Hammer(mem, pid),
+      far_low_(target.far_low_va),
+      far_high_(target.far_high_va),
+      near_low_(target.near_low_va),
+      near_high_(target.near_high_va),
+      near_touch_interval_(near_touch_interval)
+{
+    if (near_touch_interval_ == 0)
+        throw std::runtime_error("near_touch_interval must be nonzero");
+}
+
+void
+ClflushHalfDouble::iteration()
+{
+    // Hammer only the distance-2 aggressors; the victim v between the
+    // near rows accrues second-neighbour disturbance from both.
+    mem_.access(pid_, far_low_, AccessType::kLoad);
+    mem_.access(pid_, far_high_, AccessType::kLoad);
+    mem_.clflush(pid_, far_low_);
+    mem_.clflush(pid_, far_high_);
+    if (++iterations_ % near_touch_interval_ == 0) {
+        // Rare touch of the near rows restores THEIR charge (so the
+        // attack's collateral disturbance never flips v±1 first) while
+        // keeping their activation counts orders of magnitude below any
+        // MAC a tracker would act on.
+        mem_.access(pid_, near_low_, AccessType::kLoad);
+        mem_.access(pid_, near_high_, AccessType::kLoad);
+        mem_.clflush(pid_, near_low_);
+        mem_.clflush(pid_, near_high_);
+    }
+}
+
+TrackerThrash::TrackerThrash(mem::MemorySystem &mem, Pid pid,
+                             std::vector<Addr> rows)
+    : Hammer(mem, pid), rows_(std::move(rows))
+{
+    if (rows_.empty())
+        throw std::runtime_error("tracker thrash needs a non-empty row set");
+}
+
+void
+TrackerThrash::iteration()
+{
+    // Every iteration activates a DIFFERENT row: maximal unique-row
+    // pressure on tracker tables, negligible disturbance per victim.
+    const Addr va = rows_[index_];
+    index_ = (index_ + 1) % rows_.size();
+    mem_.access(pid_, va, AccessType::kLoad);
+    mem_.clflush(pid_, va);
+}
+
 }  // namespace anvil::attack

@@ -186,6 +186,80 @@ class ClflushFreeDoubleSided : public Hammer
     std::vector<Addr> touches_;  ///< the 11 MRU-refresh lines
 };
 
+/**
+ * Half-double rowhammer (aggressor-at-distance-2).
+ *
+ * The hammered rows are v±2; the directly adjacent rows v±1 are touched
+ * only once every `near_touch_interval` iterations. Those rare touches
+ * keep the near rows' own charge restored (so THEY never flip and expose
+ * the attack early) while staying far under any tracker's MAC — the
+ * victim v accumulates pure second-neighbour disturbance that an
+ * aggressor-centric tracker attributes to rows v±1 and v±3, never to v.
+ * Requires a module with a nonzero second_neighbor_weight (next-gen
+ * parts); on a strictly first-order module the pattern is harmless.
+ */
+class ClflushHalfDouble : public Hammer
+{
+  public:
+    ClflushHalfDouble(mem::MemorySystem &mem, Pid pid,
+                      const HalfDoubleTarget &target,
+                      std::uint64_t near_touch_interval = 512);
+
+    const char *name() const override { return "half-double CLFLUSH"; }
+
+  protected:
+    void iteration() override;
+    /// Only the far (distance-2) rows are hammered; the rare near-row
+    /// touches are pattern overhead.
+    std::uint64_t aggressor_accesses_per_iteration() const override
+    {
+        return 2;
+    }
+
+  private:
+    Addr far_low_;
+    Addr far_high_;
+    Addr near_low_;
+    Addr near_high_;
+    std::uint64_t near_touch_interval_;
+    std::uint64_t iterations_ = 0;
+};
+
+/**
+ * Tracker-thrash adversary: a performance attack on the TRACKER, not on
+ * DRAM. Round-robins CLFLUSH+load over a large set of distinct rows so
+ * every access is a row activation of a different row — no row ever
+ * approaches a hammering rate, so no bit can flip, but every activation
+ * is a fresh candidate for the tracker's finite tables. Trackers whose
+ * eviction path issues refreshes (or whose response is unbudgeted)
+ * convert this benign-looking traffic into a refresh storm that slows
+ * co-running workloads; resilient trackers bound the damage.
+ */
+class TrackerThrash : public Hammer
+{
+  public:
+    /**
+     * @param rows attacker VAs in distinct (bank, row) locations (see
+     *        MemoryLayout::find_thrash_rows). Must be non-empty.
+     */
+    TrackerThrash(mem::MemorySystem &mem, Pid pid, std::vector<Addr> rows);
+
+    const char *name() const override { return "tracker thrash"; }
+
+    std::size_t working_set_rows() const { return rows_.size(); }
+
+  protected:
+    void iteration() override;
+    std::uint64_t aggressor_accesses_per_iteration() const override
+    {
+        return 1;
+    }
+
+  private:
+    std::vector<Addr> rows_;
+    std::size_t index_ = 0;
+};
+
 }  // namespace anvil::attack
 
 #endif  // ANVIL_ATTACK_HAMMER_HH

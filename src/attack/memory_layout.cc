@@ -66,6 +66,55 @@ MemoryLayout::find_single_sided_targets(std::size_t max_targets,
     return targets;
 }
 
+std::vector<HalfDoubleTarget>
+MemoryLayout::find_half_double_targets(std::size_t max_targets) const
+{
+    std::vector<HalfDoubleTarget> targets;
+    for (const auto &[key, va] : rows_) {
+        if (targets.size() >= max_targets)
+            break;
+        const auto [bank, row] = key;
+        // va is in row `row` = v-2; the sandwich needs v-1, v+1, v+2
+        // owned too (v itself need not be — the victim is someone
+        // else's data, which is the point of the attack).
+        auto near_low = rows_.find({bank, row + 1});
+        auto near_high = rows_.find({bank, row + 3});
+        auto far_high = rows_.find({bank, row + 4});
+        if (near_low == rows_.end() || near_high == rows_.end() ||
+            far_high == rows_.end())
+            continue;
+        targets.push_back(HalfDoubleTarget{va, near_low->second,
+                                           near_high->second,
+                                           far_high->second, bank,
+                                           row + 2});
+    }
+    return targets;
+}
+
+std::vector<Addr>
+MemoryLayout::find_thrash_rows(std::size_t max_rows,
+                               std::uint32_t min_row_gap) const
+{
+    std::vector<Addr> rows;
+    bool have_last = false;
+    std::uint32_t last_bank = 0;
+    std::uint32_t last_row = 0;
+    for (const auto &[key, va] : rows_) {
+        if (rows.size() >= max_rows)
+            break;
+        const auto [bank, row] = key;
+        // Spacing keeps picked rows out of each other's blast radius:
+        // the thrash traffic stresses tracker tables, not DRAM cells.
+        if (have_last && bank == last_bank && row < last_row + min_row_gap)
+            continue;
+        rows.push_back(va);
+        have_last = true;
+        last_bank = bank;
+        last_row = row;
+    }
+    return rows;
+}
+
 std::vector<Addr>
 MemoryLayout::build_eviction_set(Addr target_va,
                                  std::size_t n_conflicts) const

@@ -40,6 +40,23 @@ struct SingleSidedTarget {
 };
 
 /**
+ * Half-double layout around victim row v: the hammered aggressors sit at
+ * DISTANCE 2 (rows v-2 and v+2), while the directly adjacent rows v-1
+ * and v+1 are only touched occasionally — enough to keep their own
+ * charge restored (and their activation counts under any tracker's MAC)
+ * while the victim accumulates pure second-neighbour disturbance that
+ * aggressor-centric trackers never attribute to it.
+ */
+struct HalfDoubleTarget {
+    Addr far_low_va = 0;    ///< VA mapping into row v-2 (hammered)
+    Addr near_low_va = 0;   ///< VA mapping into row v-1 (kept charged)
+    Addr near_high_va = 0;  ///< VA mapping into row v+1 (kept charged)
+    Addr far_high_va = 0;   ///< VA mapping into row v+2 (hammered)
+    std::uint32_t flat_bank = 0;
+    std::uint32_t victim_row = 0;
+};
+
+/**
  * Scans an attacker-owned buffer through pagemap and answers layout
  * queries. All knowledge used here is exactly what the paper's attacker
  * has: pagemap plus the reverse-engineered address mappings.
@@ -69,6 +86,24 @@ class MemoryLayout
     std::vector<SingleSidedTarget>
     find_single_sided_targets(std::size_t max_targets,
                               std::uint32_t min_row_gap = 64) const;
+
+    /**
+     * Finds victims v such that the attacker owns pages in all four of
+     * rows v-2, v-1, v+1, v+2 of the same bank (the half-double
+     * sandwich), ordered by (bank, row).
+     */
+    std::vector<HalfDoubleTarget>
+    find_half_double_targets(std::size_t max_targets) const;
+
+    /**
+     * Enumerates up to @p max_rows attacker VAs in DISTINCT (bank, row)
+     * locations, keeping same-bank picks at least @p min_row_gap rows
+     * apart so round-robin traffic over them exerts maximal unique-row
+     * pressure on a tracker's tables while contributing near-zero
+     * disturbance to any single victim (the tracker-thrash working set).
+     */
+    std::vector<Addr> find_thrash_rows(std::size_t max_rows,
+                                       std::uint32_t min_row_gap = 3) const;
 
     /**
      * Builds an LLC eviction set for @p target_va: @p n_conflicts

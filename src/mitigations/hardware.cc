@@ -3,52 +3,31 @@
 namespace anvil::mitigations {
 
 Para::Para(dram::DramSystem &dram, double probability, std::uint64_t seed)
-    : dram_(dram), probability_(probability), rng_(seed)
+    : Mitigation(dram), probability_(probability), rng_(seed)
 {
-    dram_.add_activation_hook(
-        [this](std::uint32_t bank, std::uint32_t row, Tick now) {
-            on_activation(bank, row, now);
-        });
 }
 
 void
 Para::on_activation(std::uint32_t flat_bank, std::uint32_t row, Tick now)
 {
-    if (in_refresh_)
-        return;  // our own refresh reads do not re-trigger
-    ++stats_.activations_observed;
     const std::uint32_t rows = dram_.config().rows_per_bank;
-    in_refresh_ = true;
     // Independent coin per neighbour, as in the PARA proposal. The
     // refresh read is absorbed into controller slack: it consumes no core
     // time (this is dedicated hardware), only DRAM state changes.
-    if (row > 0 && rng_.next_bool(probability_)) {
-        dram_.refresh_row(flat_bank, row - 1, now);
-        ++stats_.neighbor_refreshes;
-    }
-    if (row + 1 < rows && rng_.next_bool(probability_)) {
-        dram_.refresh_row(flat_bank, row + 1, now);
-        ++stats_.neighbor_refreshes;
-    }
-    in_refresh_ = false;
+    if (row > 0 && rng_.next_bool(probability_))
+        refresh_row(flat_bank, static_cast<std::int64_t>(row) - 1, now);
+    if (row + 1 < rows && rng_.next_bool(probability_))
+        refresh_row(flat_bank, static_cast<std::int64_t>(row) + 1, now);
 }
 
 Trr::Trr(dram::DramSystem &dram, std::uint64_t max_activations)
-    : dram_(dram), max_activations_(max_activations)
+    : Mitigation(dram), max_activations_(max_activations)
 {
-    dram_.add_activation_hook(
-        [this](std::uint32_t bank, std::uint32_t row, Tick now) {
-            on_activation(bank, row, now);
-        });
 }
 
 void
 Trr::on_activation(std::uint32_t flat_bank, std::uint32_t row, Tick now)
 {
-    if (in_refresh_)
-        return;
-    ++stats_.activations_observed;
-
     const std::uint64_t key =
         (static_cast<std::uint64_t>(flat_bank) << 32) | row;
     const std::uint64_t epoch = now / dram_.config().refresh_period;
@@ -61,17 +40,7 @@ Trr::on_activation(std::uint32_t flat_bank, std::uint32_t row, Tick now)
         return;
 
     count = 0;
-    const std::uint32_t rows = dram_.config().rows_per_bank;
-    in_refresh_ = true;
-    if (row > 0) {
-        dram_.refresh_row(flat_bank, row - 1, now);
-        ++stats_.neighbor_refreshes;
-    }
-    if (row + 1 < rows) {
-        dram_.refresh_row(flat_bank, row + 1, now);
-        ++stats_.neighbor_refreshes;
-    }
-    in_refresh_ = false;
+    refresh_neighbors(flat_bank, row, now);
 }
 
 }  // namespace anvil::mitigations

@@ -13,7 +13,9 @@
  *  - TRR (counter-based targeted row refresh, as in LPDDR4/DDR4 and the
  *    Kim/Nair/Qureshi CAL'15 proposal): count activations per row within
  *    each refresh window; when a row crosses the maximum activation count
- *    (MAC), refresh its neighbours and reset its counter.
+ *    (MAC), refresh its neighbours and reset its counter. This seed TRR
+ *    is idealized — its counter table is unbounded; the finite-table
+ *    variants live in counter_trr.hh.
  */
 #ifndef ANVIL_MITIGATIONS_HARDWARE_HH
 #define ANVIL_MITIGATIONS_HARDWARE_HH
@@ -24,22 +26,14 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "dram/dram_system.hh"
+#include "mitigations/mitigation.hh"
 
 namespace anvil::mitigations {
 
-/** Counters shared by the hardware mitigations. */
-struct MitigationStats {
-    std::uint64_t activations_observed = 0;
-    std::uint64_t neighbor_refreshes = 0;
-};
-
 /**
  * PARA: probabilistic adjacent row activation.
- *
- * Attach to a DramSystem before issuing traffic; detaching is not
- * supported (hardware does not unload).
  */
-class Para
+class Para : public Mitigation
 {
   public:
     /**
@@ -50,23 +44,21 @@ class Para
     Para(dram::DramSystem &dram, double probability = 0.001,
          std::uint64_t seed = 0xBA5EBA11ULL);
 
-    const MitigationStats &stats() const { return stats_; }
+    const char *name() const override { return "para"; }
+
+  protected:
+    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
+                       Tick now) override;
 
   private:
-    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
-                       Tick now);
-
-    dram::DramSystem &dram_;
     double probability_;
     Rng rng_;
-    bool in_refresh_ = false;  ///< guards against self-recursion
-    MitigationStats stats_;
 };
 
 /**
  * Counter-based targeted row refresh.
  */
-class Trr
+class Trr : public Mitigation
 {
   public:
     /**
@@ -79,20 +71,18 @@ class Trr
      */
     Trr(dram::DramSystem &dram, std::uint64_t max_activations = 32000);
 
-    const MitigationStats &stats() const { return stats_; }
+    const char *name() const override { return "trr"; }
+
+  protected:
+    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
+                       Tick now) override;
 
   private:
-    void on_activation(std::uint32_t flat_bank, std::uint32_t row,
-                       Tick now);
-
-    dram::DramSystem &dram_;
     std::uint64_t max_activations_;
-    bool in_refresh_ = false;
     /// (bank, row) -> (count, window epoch); counts reset every refresh
     /// period, mirroring the per-window MAC definition.
     std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
         counters_;
-    MitigationStats stats_;
 };
 
 }  // namespace anvil::mitigations

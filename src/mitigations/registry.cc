@@ -1,0 +1,161 @@
+#include "mitigations/registry.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "mitigations/counter_trr.hh"
+#include "mitigations/dapper.hh"
+#include "mitigations/hardware.hh"
+#include "mitigations/rvc.hh"
+
+namespace anvil::mitigations {
+
+void
+MitigationRegistry::add(MitigationEntry entry)
+{
+    if (find(entry.name) != nullptr) {
+        throw std::invalid_argument(
+            "duplicate mitigation tracker name '" + entry.name +
+            "' — every tracker needs a unique registry key; already "
+            "registered: " +
+            known_names());
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const MitigationEntry *
+MitigationRegistry::find(const std::string &name) const
+{
+    for (const MitigationEntry &entry : entries_) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const MitigationEntry &
+MitigationRegistry::at(const std::string &name) const
+{
+    const MitigationEntry *entry = find(name);
+    if (entry == nullptr) {
+        throw std::out_of_range("unknown mitigation tracker '" + name +
+                                "' — known trackers: " + known_names());
+    }
+    return *entry;
+}
+
+std::string
+MitigationRegistry::known_names() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const MitigationEntry &entry : entries_) {
+        os << (first ? "" : ", ") << entry.name;
+        first = false;
+    }
+    return os.str();
+}
+
+namespace {
+
+CounterTrrConfig
+ctrr_sampled_config()
+{
+    CounterTrrConfig config;
+    config.table_size = 16;
+    config.counter_bits = 24;
+    config.mac = 32000;
+    config.reset = CounterTrrConfig::Reset::kHalve;
+    config.evict = CounterTrrConfig::Evict::kMinCount;
+    config.sample_probability = 0.25;
+    config.refresh_radius = 1;
+    return config;
+}
+
+CounterTrrConfig
+ctrr_evict_config()
+{
+    CounterTrrConfig config;
+    config.table_size = 8;
+    config.counter_bits = 24;
+    config.mac = 32000;
+    config.reset = CounterTrrConfig::Reset::kClear;
+    config.evict = CounterTrrConfig::Evict::kFifo;
+    config.refresh_on_evict = true;
+    config.refresh_radius = 1;
+    return config;
+}
+
+CounterTrrConfig
+ctrr_radius2_config()
+{
+    CounterTrrConfig config;
+    config.table_size = 16;
+    config.counter_bits = 24;
+    config.mac = 16000;
+    config.reset = CounterTrrConfig::Reset::kClear;
+    config.evict = CounterTrrConfig::Evict::kMinCount;
+    config.refresh_radius = 2;
+    return config;
+}
+
+}  // namespace
+
+const MitigationRegistry &
+mitigation_registry()
+{
+    static const MitigationRegistry registry = [] {
+        MitigationRegistry r;
+        // The two paper baselines keep their historic fixed parameters
+        // (PARA's builtin seed, TRR's MAC) so sweeps that predate the
+        // registry emit byte-identical JSON through it.
+        r.add({"para",
+               "PARA: probabilistic adjacent row refresh (p = 0.001)",
+               [](dram::DramSystem &dram, std::uint64_t) {
+                   return std::make_unique<Para>(dram);
+               }});
+        r.add({"trr",
+               "idealized counter TRR: unbounded per-row counters, "
+               "MAC 32000",
+               [](dram::DramSystem &dram, std::uint64_t) {
+                   return std::make_unique<Trr>(dram);
+               }});
+        r.add({"ctrr-sampled",
+               "counter-table TRR: 16 entries/bank, 1-in-4 sampler, "
+               "halving reset, MAC 32000",
+               [](dram::DramSystem &dram, std::uint64_t seed) {
+                   return std::make_unique<CounterTrr>(
+                       dram, ctrr_sampled_config(), seed);
+               }});
+        r.add({"ctrr-evict",
+               "counter-table TRR: 8 entries/bank, FIFO eviction with "
+               "refresh-on-evict, MAC 32000",
+               [](dram::DramSystem &dram, std::uint64_t seed) {
+                   return std::make_unique<CounterTrr>(
+                       dram, ctrr_evict_config(), seed);
+               }});
+        r.add({"ctrr-radius2",
+               "counter-table TRR: 16 entries/bank, refresh radius 2, "
+               "MAC 16000",
+               [](dram::DramSystem &dram, std::uint64_t seed) {
+                   return std::make_unique<CounterTrr>(
+                       dram, ctrr_radius2_config(), seed);
+               }});
+        r.add({"rvc",
+               "victim-centric tracker: per-victim disturbance credit, "
+               "direct victim refresh",
+               [](dram::DramSystem &dram, std::uint64_t) {
+                   return std::make_unique<Rvc>(dram, RvcConfig{});
+               }});
+        r.add({"dapper",
+               "performance-attack-resilient tracker: Misra-Gries "
+               "summary + per-tREFI refresh budget",
+               [](dram::DramSystem &dram, std::uint64_t) {
+                   return std::make_unique<Dapper>(dram, DapperConfig{});
+               }});
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace anvil::mitigations

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Name registry of the tracker zoo, so scenario specs can select a
+ * hardware mitigation declaratively ("rvc", "ctrr-evict", ...) the same
+ * way they select workload profiles by name.
+ *
+ * Each entry is a factory taking the device and a per-trial seed (the
+ * trial's "mitigation" sub-stream); trackers with no stochastic state
+ * ignore the seed, and the legacy PARA/TRR baselines keep their historic
+ * fixed parameters so pre-existing sweep JSON stays byte-identical.
+ */
+#ifndef ANVIL_MITIGATIONS_REGISTRY_HH
+#define ANVIL_MITIGATIONS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/dram_system.hh"
+#include "mitigations/mitigation.hh"
+
+namespace anvil::mitigations {
+
+/** Constructs one tracker attached to @p dram, seeded by @p seed. */
+using MitigationFactory = std::function<std::unique_ptr<Mitigation>(
+    dram::DramSystem &dram, std::uint64_t seed)>;
+
+/** One named tracker in the zoo. */
+struct MitigationEntry {
+    std::string name;         ///< registry key (ScenarioSpec::mitigation)
+    std::string description;  ///< one line for listings and error text
+    MitigationFactory make;
+};
+
+/** Maps tracker names to factories; rejects duplicates. */
+class MitigationRegistry
+{
+  public:
+    /**
+     * Registers a tracker.
+     * @throw std::invalid_argument on a duplicate name, naming both the
+     *        collision and the already-registered trackers.
+     */
+    void add(MitigationEntry entry);
+
+    /** Entry by name, or nullptr when absent. */
+    const MitigationEntry *find(const std::string &name) const;
+
+    /**
+     * Entry by name.
+     * @throw std::out_of_range for unknown names, listing every
+     *        registered tracker so the caller can fix the spec.
+     */
+    const MitigationEntry &at(const std::string &name) const;
+
+    const std::vector<MitigationEntry> &all() const { return entries_; }
+
+    /** Comma-separated registered names (for error messages). */
+    std::string known_names() const;
+
+  private:
+    std::vector<MitigationEntry> entries_;  ///< registration order
+};
+
+/**
+ * The built-in tracker zoo: the paper's PARA/TRR baselines, the
+ * reverse-engineered counter-table TRR variants, the victim-centric RVC
+ * tracker, and the DAPPER-style budgeted tracker.
+ */
+const MitigationRegistry &mitigation_registry();
+
+}  // namespace anvil::mitigations
+
+#endif  // ANVIL_MITIGATIONS_REGISTRY_HH

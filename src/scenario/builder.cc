@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mitigations/registry.hh"
 #include "runner/sweep.hh"
 #include "scenario/validate.hh"
 #include "workload/profile.hh"
@@ -45,6 +46,28 @@ build_attack(const AttackSpec &spec, Testbed &bed)
           built.victim_row = target->victim_row;
           built.hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
               bed.machine, bed.attacker->pid(), *target, bed.layout);
+          break;
+      }
+      case AttackKind::kClflushHalfDouble: {
+          const auto target = bed.weakest_half_double();
+          if (!target)
+              throw std::runtime_error("no half-double target");
+          built.flat_bank = target->flat_bank;
+          built.victim_row = target->victim_row;
+          built.hammer = std::make_unique<attack::ClflushHalfDouble>(
+              bed.machine, bed.attacker->pid(), *target);
+          break;
+      }
+      case AttackKind::kTrackerThrash: {
+          auto rows = bed.layout.find_thrash_rows(4096);
+          if (rows.empty())
+              throw std::runtime_error("no thrash rows");
+          // No single victim: the target of this attack is the tracker's
+          // tables, not a DRAM row.
+          built.flat_bank = 0;
+          built.victim_row = 0;
+          built.hammer = std::make_unique<attack::TrackerThrash>(
+              bed.machine, bed.attacker->pid(), std::move(rows));
           break;
       }
     }
@@ -96,15 +119,11 @@ ScenarioBuilder::build()
             [wd](const mem::AccessInfo &) { wd->tick(); });
     }
 
-    switch (spec_.mitigation) {
-      case Mitigation::kNone:
-          break;
-      case Mitigation::kPara:
-          e.para_ = std::make_unique<mitigations::Para>(e.machine().dram());
-          break;
-      case Mitigation::kTrr:
-          e.trr_ = std::make_unique<mitigations::Trr>(e.machine().dram());
-          break;
+    if (!spec_.mitigation.empty()) {
+        e.mitigation_ = mitigations::mitigation_registry()
+                            .at(spec_.mitigation)
+                            .make(e.machine().dram(),
+                                  ctx_.seed_for("mitigation"));
     }
 
     if (!spec_.pre_detector.empty())
@@ -206,6 +225,21 @@ ScenarioBuilder::run()
               attack.hammer->step();
               if (spec_.run.step_gap != 0)
                   e.machine().advance(spec_.run.step_gap);
+          }
+          break;
+      }
+      case RunMode::kInterleaveUntilOps: {
+          // Fixed-work slowdown under live attack pressure: round-robin
+          // everything until the FIRST workload finishes its quota, so
+          // the measured run_ms scales with whatever latency the attack
+          // (and any mitigation response it provokes) inflicts.
+          workload::Workload *lead = e.workloads_.at(0).get();
+          const std::uint64_t start_ops = lead->ops();
+          while (lead->ops() - start_ops < spec_.run.ops) {
+              for (BuiltAttack &attack : e.attacks_)
+                  attack.hammer->step();
+              for (auto &load : e.workloads_)
+                  load->step();
           }
           break;
       }
@@ -345,6 +379,14 @@ ScenarioBuilder::emit() const
               r.set_dram(machine.dram().stats());
               break;
           }
+          case Output::kMitigationRefreshes:
+              r.set_counter("mitigation_refreshes",
+                            e.mitigation_->stats().neighbor_refreshes);
+              break;
+          case Output::kMitigationEvictions:
+              r.set_counter("mitigation_evictions",
+                            e.mitigation_->stats().table_evictions);
+              break;
         }
     }
     return r;

@@ -29,7 +29,7 @@
 
 #include "anvil/anvil.hh"
 #include "attack/hammer.hh"
-#include "mitigations/hardware.hh"
+#include "mitigations/mitigation.hh"
 #include "runner/options.hh"
 #include "runner/result_sink.hh"
 #include "runner/trial.hh"
@@ -79,6 +79,8 @@ class Execution
     Testbed *testbed() { return bed_.get(); }
     /** The detector; nullptr when the scenario runs unprotected. */
     detector::Anvil *anvil() { return anvil_.get(); }
+    /** The hardware mitigation tracker; nullptr when none configured. */
+    mitigations::Mitigation *mitigation() { return mitigation_.get(); }
     std::vector<BuiltAttack> &attacks() { return attacks_; }
     std::vector<std::unique_ptr<workload::Workload>> &
     workloads()
@@ -99,8 +101,7 @@ class Execution
     std::unique_ptr<Testbed> bed_;              ///< when attacks exist
     std::unique_ptr<mem::MemorySystem> machine_;  ///< otherwise
     std::unique_ptr<pmu::Pmu> pmu_;
-    std::unique_ptr<mitigations::Para> para_;
-    std::unique_ptr<mitigations::Trr> trr_;
+    std::unique_ptr<mitigations::Mitigation> mitigation_;
     std::vector<std::unique_ptr<workload::Workload>> workloads_;
     double boost_ = 1.0;
     std::unique_ptr<detector::Anvil> anvil_;

@@ -446,18 +446,18 @@ fig3_overhead()
 struct DefenseCell {
     const char *label;
     Tick refresh_period;
-    Mitigation mitigation;
+    const char *mitigation;  ///< registry name; "" runs untracked
     bool with_anvil;
 };
 
 constexpr Tick kStandardRefresh = ms(64);
 
 const DefenseCell kDefenses[] = {
-    {"none", kStandardRefresh, Mitigation::kNone, false},
-    {"double-refresh", ms(32), Mitigation::kNone, false},
-    {"para", kStandardRefresh, Mitigation::kPara, false},
-    {"trr", kStandardRefresh, Mitigation::kTrr, false},
-    {"anvil", kStandardRefresh, Mitigation::kNone, true},
+    {"none", kStandardRefresh, "", false},
+    {"double-refresh", ms(32), "", false},
+    {"para", kStandardRefresh, "para", false},
+    {"trr", kStandardRefresh, "trr", false},
+    {"anvil", kStandardRefresh, "", true},
 };
 
 SweepFactory
@@ -495,7 +495,7 @@ mitigation_comparison()
             for (const DefenseCell &defense : kDefenses) {
                 ScenarioSpec s;
                 s.name = std::string("benign/") +
-                         (defense.mitigation == Mitigation::kNone &&
+                         (defense.mitigation[0] == '\0' &&
                                   !defense.with_anvil &&
                                   defense.refresh_period ==
                                       kStandardRefresh
@@ -531,6 +531,134 @@ mitigation_comparison()
     };
 }
 
+/// Trackers of the mitigation matrix, in row order ("none" = untracked
+/// baseline the miss-rate and slowdown columns normalize against).
+constexpr const char *kMatrixTrackers[] = {
+    "none",       "para",        "trr",  "ctrr-sampled",
+    "ctrr-evict", "ctrr-radius2", "rvc", "dapper",
+};
+
+constexpr const char *kMatrixAttacks[] = {
+    "single-sided",
+    "double-sided",
+    "clflush-free",
+    "half-double",
+};
+
+SweepFactory
+mitigation_matrix()
+{
+    return {
+        "mitigation_matrix",
+        "Tracker zoo matrix: detection/miss rate of every registered "
+        "mitigation tracker against classic, half-double, and "
+        "tracker-thrash attacks on a next-generation module, plus the "
+        "refresh-storm slowdown each tracker inflicts under thrash",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "mitigation_matrix";
+            sweep.default_trials = 2;
+
+            const struct {
+                const char *label;
+                AttackKind kind;
+            } attacks[] = {
+                {kMatrixAttacks[0], AttackKind::kClflushSingleSided},
+                {kMatrixAttacks[1], AttackKind::kClflushDoubleSided},
+                {kMatrixAttacks[2], AttackKind::kClflushFreeDoubleSided},
+                {kMatrixAttacks[3], AttackKind::kClflushHalfDouble},
+            };
+            for (const char *tracker : kMatrixTrackers) {
+                const bool tracked = std::string(tracker) != "none";
+                for (const auto &attack : attacks) {
+                    ScenarioSpec s = attack_cell(
+                        std::string(tracker) + "/" + attack.label,
+                        attack.kind, kStandardRefresh);
+                    // Next-generation module (Section 4.5's 110 K-class
+                    // parts): halved flip threshold plus real
+                    // second-neighbour coupling, the regime half-double
+                    // exploits.
+                    s.system.dram.flip_threshold = 200000;
+                    s.system.dram.second_neighbor_weight = 0.5;
+                    if (tracked)
+                        s.mitigation = tracker;
+                    s.outputs = {Output::kFlipped, Output::kFlipMs};
+                    if (tracked)
+                        s.outputs.push_back(Output::kMitigationRefreshes);
+                    sweep.cells.push_back(std::move(s));
+                }
+                // Thrash column: fixed mcf work interleaved with the
+                // tracker-thrash adversary; run_ms grows with whatever
+                // refresh storm the tracker's table-pressure response
+                // adds on top of the attacker's own traffic.
+                ScenarioSpec s;
+                s.name = std::string(tracker) + "/thrash";
+                s.system.dram.flip_threshold = 200000;
+                s.system.dram.second_neighbor_weight = 0.5;
+                s.seed_vm_from_trial = false;
+                if (tracked)
+                    s.mitigation = tracker;
+                s.workloads = {{"mcf", "", false}};
+                s.attacks = {{AttackKind::kTrackerThrash}};
+                s.run.mode = RunMode::kInterleaveUntilOps;
+                s.run.ops = 300000;
+                s.outputs = {Output::kRunMs, Output::kOps};
+                if (tracked) {
+                    s.outputs.push_back(Output::kMitigationRefreshes);
+                    s.outputs.push_back(Output::kMitigationEvictions);
+                }
+                sweep.cells.push_back(std::move(s));
+            }
+
+            sweep.finalize = [](runner::ResultSink &sink) {
+                const double thrash_base =
+                    sink.scenario("none/thrash").value_mean("run_ms");
+                for (const char *tracker : kMatrixTrackers) {
+                    for (const char *attack : kMatrixAttacks) {
+                        const std::string cell =
+                            std::string(tracker) + "/" + attack;
+                        const runner::ScenarioAggregate &agg =
+                            sink.scenario(cell);
+                        const double trials =
+                            static_cast<double>(agg.trials());
+                        // Fraction of trials where the attack still
+                        // flipped a bit = the tracker's miss rate for
+                        // this attack kind.
+                        sink.set_derived(
+                            cell, "miss_rate",
+                            trials > 0.0
+                                ? static_cast<double>(
+                                      agg.counter_sum("flipped")) /
+                                      trials
+                                : 0.0);
+                    }
+                    const std::string cell =
+                        std::string(tracker) + "/thrash";
+                    const runner::ScenarioAggregate &agg =
+                        sink.scenario(cell);
+                    const double t = agg.value_mean("run_ms");
+                    sink.set_derived(cell, "slowdown",
+                                     thrash_base > 0.0 ? t / thrash_base
+                                                       : 0.0);
+                    const RunningStat *run_stat =
+                        agg.value_stat("run_ms");
+                    const double run_ms_total =
+                        run_stat != nullptr ? run_stat->sum() : 0.0;
+                    sink.set_derived(
+                        cell, "refreshes_per_64ms",
+                        run_ms_total > 0.0
+                            ? static_cast<double>(agg.counter_sum(
+                                  "mitigation_refreshes")) /
+                                  (run_ms_total / 64.0)
+                            : 0.0);
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
 }  // namespace
 
 const ScenarioRegistry &
@@ -546,6 +674,7 @@ paper_registry()
         r.add(fig3_overhead());
         r.add(fig4_sensitivity());
         r.add(mitigation_comparison());
+        r.add(mitigation_matrix());
         return r;
     }();
     return registry;

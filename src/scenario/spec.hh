@@ -42,6 +42,11 @@ enum class AttackKind {
     kClflushSingleSided,
     kClflushDoubleSided,
     kClflushFreeDoubleSided,
+    /// Aggressors at distance 2 (needs second_neighbor_weight > 0).
+    kClflushHalfDouble,
+    /// Round-robin over many distinct rows: stresses mitigation tracker
+    /// tables without hammering any single row.
+    kTrackerThrash,
 };
 
 /** How the attacker picks its target among the scanned candidates. */
@@ -70,8 +75,6 @@ struct WorkloadSpec {
     bool boost_thrash = false;
 };
 
-/** Hardware mitigation attached to the DRAM device (comparison bench). */
-enum class Mitigation { kNone, kPara, kTrr };
 
 /**
  * How detections are labeled against ground truth. Labeling never feeds
@@ -113,6 +116,10 @@ enum class RunMode {
     /// Warm the hammer up, then measure per-iteration cache/DRAM/latency
     /// behaviour over `iterations` iterations (Figure 1b cost model).
     kPatternMeasure,
+    /// Interleave all attacks and workloads round-robin until the FIRST
+    /// workload completes `ops` operations (fixed-work slowdown under
+    /// live attack pressure — e.g. tracker-thrash refresh storms).
+    kInterleaveUntilOps,
 };
 
 /** Run-phase parameters (interpreted per RunMode). */
@@ -152,6 +159,8 @@ enum class Output {
     kAggressorActShare,       ///< value "aggressor_act_share" (pattern)
     kAnvilStats,              ///< detector stats block (when configured)
     kDramStats,               ///< DRAM stats block
+    kMitigationRefreshes,     ///< counter "mitigation_refreshes"
+    kMitigationEvictions,     ///< counter "mitigation_evictions"
 };
 
 /** One fully declarative experiment cell. */
@@ -164,8 +173,11 @@ struct ScenarioSpec {
     mem::SystemConfig system;
     bool seed_vm_from_trial = true;
 
-    /// Hardware mitigation attached right after machine construction.
-    Mitigation mitigation = Mitigation::kNone;
+    /// Registry name of the hardware mitigation tracker attached right
+    /// after machine construction (mitigations::mitigation_registry());
+    /// empty runs without one. The tracker's RNG (if any) is seeded from
+    /// the trial's "mitigation" sub-stream.
+    std::string mitigation;
 
     /// Clock advance before the detector loads (layout/refresh-phase
     /// decorrelation across trials).

@@ -63,6 +63,16 @@ Testbed::weakest_single_sided()
     return std::nullopt;
 }
 
+std::optional<attack::HalfDoubleTarget>
+Testbed::weakest_half_double()
+{
+    for (const auto &t : layout.find_half_double_targets(1024)) {
+        if (is_weakest(t.flat_bank, t.victim_row))
+            return t;
+    }
+    return std::nullopt;
+}
+
 double
 boost_thrash_rate(workload::SpecProfile &profile,
                   double target_component_rate, double max_total_rate)

@@ -59,6 +59,9 @@ class Testbed
     /** First single-sided target with a maximally sensitive victim. */
     std::optional<attack::SingleSidedTarget> weakest_single_sided();
 
+    /** First half-double target whose victim is maximally sensitive. */
+    std::optional<attack::HalfDoubleTarget> weakest_half_double();
+
     mem::MemorySystem machine;
     pmu::Pmu pmu;
 

@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/error.hh"
+#include "mitigations/registry.hh"
 #include "workload/profile.hh"
 
 namespace anvil::scenario {
@@ -59,6 +60,7 @@ needs_attack(RunMode mode)
           return true;
       case RunMode::kInterleaveFor:
       case RunMode::kWorkloadOps:
+      case RunMode::kInterleaveUntilOps:
           return false;
     }
     return false;
@@ -85,6 +87,18 @@ needs_testbed(Output output)
     switch (output) {
       case Output::kFlips:
       case Output::kAttackMs:
+          return true;
+      default:
+          return false;
+    }
+}
+
+bool
+needs_mitigation(Output output)
+{
+    switch (output) {
+      case Output::kMitigationRefreshes:
+      case Output::kMitigationEvictions:
           return true;
       default:
           return false;
@@ -146,6 +160,24 @@ validate(const ScenarioSpec &spec)
                          "run.iterations is zero — the pattern cost model "
                          "divides per-iteration deltas by it");
     }
+    if (spec.run.mode == RunMode::kInterleaveUntilOps) {
+        if (spec.workloads.empty()) {
+            throw cell_error(spec,
+                             "kInterleaveUntilOps runs until the first "
+                             "workload finishes its quota, but the "
+                             "scenario declares no workloads");
+        }
+        require_nonzero(spec, "run.ops", spec.run.ops);
+    }
+
+    if (!spec.mitigation.empty() &&
+        mitigations::mitigation_registry().find(spec.mitigation) ==
+            nullptr) {
+        throw cell_error(spec, "unknown mitigation tracker")
+            .with("mitigation", spec.mitigation)
+            .with("known",
+                  mitigations::mitigation_registry().known_names());
+    }
 
     for (const WorkloadSpec &ws : spec.workloads) {
         try {
@@ -168,6 +200,13 @@ validate(const ScenarioSpec &spec)
             throw cell_error(spec,
                              "an output reads attack results but the "
                              "scenario declares no attacks");
+        }
+        if (needs_mitigation(output) && spec.mitigation.empty()) {
+            throw cell_error(spec,
+                             "an output reads mitigation-tracker "
+                             "statistics but the scenario configures no "
+                             "mitigation — set `mitigation` to a registry "
+                             "name or drop the output");
         }
     }
 }

@@ -7,6 +7,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "attack/hammer.hh"
 #include "attack/memory_layout.hh"
 #include "common/units.hh"
@@ -22,9 +28,12 @@ class AttackTest : public ::testing::Test
     static constexpr std::uint64_t kBufferBytes = 64ULL << 20;
 
     explicit AttackTest(Tick refresh_period = ms(64))
+        : AttackTest(config_with_refresh(refresh_period))
     {
-        mem::SystemConfig config;
-        config.dram.refresh_period = refresh_period;
+    }
+
+    explicit AttackTest(const mem::SystemConfig &config)
+    {
         machine_ = std::make_unique<mem::MemorySystem>(config);
         attacker_ = &machine_->create_process();
         buffer_ = attacker_->mmap(kBufferBytes);
@@ -71,6 +80,14 @@ class AttackTest : public ::testing::Test
             }
         }
         return std::nullopt;
+    }
+
+    static mem::SystemConfig
+    config_with_refresh(Tick refresh_period)
+    {
+        mem::SystemConfig config;
+        config.dram.refresh_period = refresh_period;
+        return config;
     }
 
     std::unique_ptr<mem::MemorySystem> machine_;
@@ -299,6 +316,144 @@ TEST_F(AttackTest, SliceIncompatibleTargetThrows)
         }
     }
     GTEST_SKIP() << "every target happened to be compatible";
+}
+
+TEST_F(AttackTest, HalfDoubleTargetsOwnTheFullSandwich)
+{
+    const auto targets = layout_->find_half_double_targets(32);
+    ASSERT_FALSE(targets.empty());
+    const auto &map = machine_->dram().address_map();
+    for (const auto &t : targets) {
+        const auto far_low = map.decode(attacker_->translate(t.far_low_va));
+        const auto near_low =
+            map.decode(attacker_->translate(t.near_low_va));
+        const auto near_high =
+            map.decode(attacker_->translate(t.near_high_va));
+        const auto far_high =
+            map.decode(attacker_->translate(t.far_high_va));
+        EXPECT_EQ(map.flat_bank(far_low), t.flat_bank);
+        EXPECT_EQ(map.flat_bank(near_low), t.flat_bank);
+        EXPECT_EQ(map.flat_bank(near_high), t.flat_bank);
+        EXPECT_EQ(map.flat_bank(far_high), t.flat_bank);
+        EXPECT_EQ(far_low.row + 2, t.victim_row);
+        EXPECT_EQ(near_low.row + 1, t.victim_row);
+        EXPECT_EQ(near_high.row - 1, t.victim_row);
+        EXPECT_EQ(far_high.row - 2, t.victim_row);
+    }
+}
+
+TEST_F(AttackTest, HalfDoubleIsInertWithoutDistanceTwoCoupling)
+{
+    // On the classic module (second_neighbor_weight = 0) the far
+    // aggressors contribute nothing to the sandwiched victim; a run
+    // well past the double-sided time-to-flip leaves memory intact.
+    const auto targets = layout_->find_half_double_targets(16);
+    ASSERT_FALSE(targets.empty());
+    ClflushHalfDouble hammer(*machine_, attacker_->pid(), targets[0]);
+    const HammerResult result = hammer.run(ms(30));
+    EXPECT_FALSE(result.flipped);
+    EXPECT_TRUE(machine_->dram().flips().empty());
+}
+
+TEST_F(AttackTest, HalfDoubleRejectsAZeroNearTouchInterval)
+{
+    const auto targets = layout_->find_half_double_targets(16);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_THROW(
+        ClflushHalfDouble(*machine_, attacker_->pid(), targets[0], 0),
+        std::runtime_error);
+}
+
+TEST_F(AttackTest, ThrashRowsAreDistinctAndSpaced)
+{
+    const auto rows = layout_->find_thrash_rows(512);
+    ASSERT_GE(rows.size(), 64u);
+    const auto &map = machine_->dram().address_map();
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_bank;
+    for (const Addr va : rows) {
+        const auto coord = map.decode(attacker_->translate(va));
+        EXPECT_TRUE(seen.insert({map.flat_bank(coord), coord.row}).second);
+        by_bank[map.flat_bank(coord)].push_back(coord.row);
+    }
+    // Same-bank picks keep the minimum gap, so round-robin traffic never
+    // concentrates disturbance on any one victim.
+    for (auto &[bank, bank_rows] : by_bank) {
+        std::sort(bank_rows.begin(), bank_rows.end());
+        for (std::size_t i = 1; i < bank_rows.size(); ++i)
+            EXPECT_GE(bank_rows[i] - bank_rows[i - 1], 3u) << bank;
+    }
+}
+
+TEST_F(AttackTest, TrackerThrashCyclesDistinctRowsWithoutFlipping)
+{
+    const auto rows = layout_->find_thrash_rows(256);
+    ASSERT_FALSE(rows.empty());
+    TrackerThrash hammer(*machine_, attacker_->pid(), rows);
+    EXPECT_EQ(hammer.working_set_rows(), rows.size());
+    const std::uint64_t misses_before =
+        machine_->dram().stats().row_misses;
+    for (std::size_t i = 0; i < 4 * rows.size(); ++i)
+        hammer.step();
+    // Round-robin over distinct (bank, row) locations: every access
+    // opens a fresh row (maximal tracker pressure)...
+    EXPECT_EQ(machine_->dram().stats().row_misses - misses_before,
+              4 * rows.size());
+    // ...while no victim accumulates disturbance worth mentioning.
+    EXPECT_TRUE(machine_->dram().flips().empty());
+}
+
+TEST_F(AttackTest, TrackerThrashRejectsAnEmptyWorkingSet)
+{
+    EXPECT_THROW(TrackerThrash(*machine_, attacker_->pid(), {}),
+                 std::runtime_error);
+}
+
+/** Next-generation module: lower threshold plus distance-2 coupling. */
+class HalfDoubleAttackTest : public AttackTest
+{
+  protected:
+    HalfDoubleAttackTest() : AttackTest(next_gen_config()) {}
+
+    static mem::SystemConfig
+    next_gen_config()
+    {
+        mem::SystemConfig config;
+        config.dram.flip_threshold = 200000;
+        config.dram.second_neighbor_weight = 0.5;
+        return config;
+    }
+};
+
+TEST_F(HalfDoubleAttackTest, FlipsTheSandwichedVictim)
+{
+    // The victim accrues w2 from BOTH far aggressors (1.0 per iteration)
+    // while the distance-3 collateral rows see only one aggressor each
+    // (0.5 per iteration), so a weakest-grade victim always flips first.
+    std::optional<HalfDoubleTarget> chosen;
+    for (const auto &t : layout_->find_half_double_targets(1024)) {
+        if (machine_->dram().disturbance(t.flat_bank).threshold_of(
+                t.victim_row) ==
+            machine_->dram().config().flip_threshold) {
+            chosen = t;
+            break;
+        }
+    }
+    ASSERT_TRUE(chosen.has_value());
+    align_to_refresh(chosen->victim_row);
+
+    ClflushHalfDouble hammer(*machine_, attacker_->pid(), *chosen);
+    const HammerResult result = hammer.run(ms(192));
+    ASSERT_TRUE(result.flipped);
+    EXPECT_EQ(result.flips[0].row, chosen->victim_row);
+    // Pure distance-2 coupling at weight 0.5: the two aggressors must
+    // jointly deliver ~2x the threshold in far accesses.
+    EXPECT_GT(result.aggressor_accesses, 300000u);
+    // The kept-charged near rows never flip.
+    for (const auto &flip : machine_->dram().flips()) {
+        EXPECT_NE(flip.row, chosen->victim_row - 1);
+        EXPECT_NE(flip.row, chosen->victim_row + 1);
+    }
 }
 
 /** Section 2.1: double refresh (32 ms) does NOT stop the CLFLUSH attack. */

@@ -264,6 +264,71 @@ TEST_F(DisturbanceTest, NeighborActivationTelemetry)
     EXPECT_GT(model_.disturbance_of(701, start + 2), 2.0);  // alpha kicks in
 }
 
+TEST(DisturbanceSecondNeighbor, DistanceTwoAccumulatesAtConfiguredWeight)
+{
+    DramConfig config = small_config();
+    config.second_neighbor_weight = 0.5;
+    RefreshSchedule schedule{config};
+    std::vector<FlipEvent> flips;
+    DisturbanceModel model{config, 0, schedule, flips};
+    Tick t = ms(1);
+    for (int i = 0; i < 1000; ++i)
+        model.on_activate(100, t++);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(101, t), 1000.0);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(102, t), 500.0);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(98, t), 500.0);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(103, t), 0.0);
+}
+
+TEST(DisturbanceSecondNeighbor, ClassicModuleHasNoDistanceTwoCoupling)
+{
+    // Regression guard for every pre-existing calibration result: the
+    // default weight is zero, so distance-2 rows accumulate nothing and
+    // the Table-1 single/double-sided numbers are untouched.
+    const DramConfig config = small_config();
+    ASSERT_EQ(config.second_neighbor_weight, 0.0);
+    RefreshSchedule schedule{config};
+    std::vector<FlipEvent> flips;
+    DisturbanceModel model{config, 0, schedule, flips};
+    Tick t = ms(1);
+    for (int i = 0; i < 1000; ++i)
+        model.on_activate(100, t++);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(102, t), 0.0);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(98, t), 0.0);
+    EXPECT_DOUBLE_EQ(model.disturbance_of(101, t), 1000.0);
+}
+
+TEST(DisturbanceSecondNeighbor, HalfDoubleSandwichFlipsTheMiddleVictim)
+{
+    // The half-double access pattern at the disturbance-model level:
+    // hammer the distance-2 pair (100, 104), keep the adjacent rows
+    // (101, 103) charged with occasional touches. The sandwiched victim
+    // 102 accumulates 2 * w2 per pair and flips; the kept-charged rows
+    // never do.
+    DramConfig config = small_config();
+    config.second_neighbor_weight = 0.5;
+    config.flip_threshold = 1000;  // keep the unit test fast
+    RefreshSchedule schedule{config};
+    std::vector<FlipEvent> flips;
+    DisturbanceModel model{config, 0, schedule, flips};
+    Tick t = ms(1);
+    int pairs = 0;
+    while (flips.empty() && pairs < 2000) {
+        model.on_activate(100, t++);
+        model.on_activate(104, t++);
+        if (++pairs % 16 == 0) {
+            model.on_activate(101, t++);
+            model.on_activate(103, t++);
+        }
+    }
+    ASSERT_FALSE(flips.empty());
+    EXPECT_EQ(flips[0].row, 102u);
+    // The victim needed roughly threshold / (2 * w2) pairs (the touches
+    // of 101/103 chip in a little extra at distance 1).
+    EXPECT_LT(pairs, 1000);
+    EXPECT_GT(pairs, 500);
+}
+
 TEST(DisturbanceVariation, ThresholdsAreDeterministicAndSpread)
 {
     DramConfig config = small_config();

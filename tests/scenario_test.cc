@@ -59,7 +59,8 @@ TEST(ScenarioRegistry, PaperRegistryListsEveryTableAndFigure)
     for (const char *name :
          {"table1_attacks", "fig1_pattern", "table3_detection",
           "table4_false_positives", "table5_fp_sensitivity",
-          "fig3_overhead", "fig4_sensitivity", "mitigation_comparison"}) {
+          "fig3_overhead", "fig4_sensitivity", "mitigation_comparison",
+          "mitigation_matrix"}) {
         EXPECT_NE(registry.find(name), nullptr) << name;
     }
 }
@@ -185,6 +186,30 @@ TEST(ScenarioGolden, Table3MatchesPreRefactorJson)
     EXPECT_EQ(produced.str(), golden.str());
 }
 
+/**
+ * The tracker-zoo sweep is part of the parallel-determinism contract:
+ * the emitted JSON must be byte-identical back-to-back and across job
+ * counts (the mitigation RNG sub-stream is seeded per trial, never from
+ * scheduling).
+ */
+TEST(ScenarioGolden, MitigationMatrixIsReproducibleAcrossJobs)
+{
+    const auto render = [](std::uint32_t jobs) {
+        runner::CliOptions cli;
+        cli.trials = 1;
+        cli.sweep.jobs = jobs;
+        scenario::SweepSpec spec =
+            scenario::paper_registry().at("mitigation_matrix").make(cli);
+        runner::SweepRun run = scenario::run_sweep(spec, cli);
+        std::ostringstream out;
+        run.sink.write_json(out);
+        return out.str();
+    };
+    const std::string serial = render(1);
+    EXPECT_EQ(serial, render(1));  // back-to-back
+    EXPECT_EQ(serial, render(4));  // scheduling-invariant
+}
+
 // ---------------------------------------------------------------------------
 // Spec validation
 // ---------------------------------------------------------------------------
@@ -251,6 +276,45 @@ TEST(Validate, RejectsUnknownWorkloadProfileWithKnownNames)
         EXPECT_NE(what.find("mcf"), std::string::npos)
             << "message must list the known profiles: " << what;
     }
+}
+
+TEST(Validate, RejectsUnknownMitigationTrackerWithKnownNames)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.mitigation = "trrr";  // typo of "trr"
+    try {
+        scenario::validate(spec);
+        FAIL() << "unknown tracker accepted";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("trrr"), std::string::npos) << what;
+        EXPECT_NE(what.find("rvc"), std::string::npos)
+            << "message must list the registered trackers: " << what;
+    }
+}
+
+TEST(Validate, RejectsInterleaveUntilOpsWithoutWorkloads)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.run.mode = scenario::RunMode::kInterleaveUntilOps;
+    spec.run.ops = 1000;
+    expect_invalid(spec, "workload");
+}
+
+TEST(Validate, RejectsInterleaveUntilOpsWithZeroQuota)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.run.mode = scenario::RunMode::kInterleaveUntilOps;
+    spec.run.ops = 0;
+    spec.workloads.push_back({"mcf", "", false});
+    expect_invalid(spec, "run.ops");
+}
+
+TEST(Validate, RejectsMitigationOutputsWithoutTracker)
+{
+    scenario::ScenarioSpec spec = detection_spec();
+    spec.outputs.push_back(scenario::Output::kMitigationRefreshes);
+    expect_invalid(spec, "mitigation");
 }
 
 TEST(Validate, RejectsDetectorOutputsOnUnprotectedScenario)

@@ -105,8 +105,12 @@ main(int argc, char **argv)
 
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv,
-        "  positional: scenario sweep name, then its own arguments\n"
+        "  positional: [run] scenario sweep name, then its own arguments\n"
         "  --list             print the registered scenario sweeps\n");
+    // `anvil-sim run SWEEP` reads naturally in CI scripts and docs; the
+    // verb is optional and never a sweep name itself.
+    if (!cli.positional.empty() && cli.positional.front() == "run")
+        cli.positional.erase(cli.positional.begin());
     if (cli.positional.empty()) {
         std::fprintf(stderr,
                      "anvil-sim: expected a scenario sweep name "
