@@ -226,6 +226,7 @@ Anvil::analyze_and_protect(const std::vector<pmu::PebsRecord> &samples,
         }
     };
     std::map<RowKey, std::uint32_t> row_samples;
+    std::map<RowKey, std::map<Pid, std::uint32_t>> row_pids;
     std::map<std::uint32_t, std::uint32_t> bank_samples;
     std::uint32_t resolved = 0;
     for (const pmu::PebsRecord &record : samples) {
@@ -235,6 +236,7 @@ Anvil::analyze_and_protect(const std::vector<pmu::PebsRecord> &samples,
         const dram::DramCoord coord = dram_map_.decode(pa);
         const std::uint32_t bank = dram_map_.flat_bank(coord);
         ++row_samples[RowKey{bank, coord.row}];
+        ++row_pids[RowKey{bank, coord.row}][record.pid];
         ++bank_samples[bank];
         ++resolved;
     }
@@ -298,6 +300,21 @@ Anvil::analyze_and_protect(const std::vector<pmu::PebsRecord> &samples,
     detection.time = mem_.now();
     detection.aggressors = aggressors;
     detection.ground_truth_attack = ground_truth_ ? ground_truth_() : false;
+    // Blame the process whose samples dominate the accepted aggressor
+    // rows (ties go to the lowest pid — map order). The attribution is
+    // pure bookkeeping: it never feeds back into detection or protection.
+    std::map<Pid, std::uint32_t> offender_votes;
+    for (const Aggressor &a : aggressors) {
+        for (const auto &[pid, count] : row_pids[RowKey{a.flat_bank, a.row}])
+            offender_votes[pid] += count;
+    }
+    std::uint32_t best_votes = 0;
+    for (const auto &[pid, votes] : offender_votes) {
+        if (votes > best_votes) {
+            best_votes = votes;
+            detection.offender_pid = pid;
+        }
+    }
     protect(aggressors, detection);
 
     ++stats_.detections;

@@ -48,6 +48,11 @@ struct Detection {
     std::vector<Aggressor> aggressors;
     std::uint32_t refreshes_performed = 0;
     bool ground_truth_attack = false;  ///< harness-provided label
+    /// The process whose samples dominate the accepted aggressor rows —
+    /// the tenant a system-wide daemon would blame (ties break to the
+    /// lowest pid); kInvalidPid when no sample resolved. Attribution is
+    /// bookkeeping only: it never feeds back into detection logic.
+    Pid offender_pid = kInvalidPid;
 };
 
 /** Aggregate detector statistics. */

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small text utilities shared by CLI drivers and spec validation:
+ * edit distance and nearest-name typo suggestions ("did you mean ...?").
+ */
+#ifndef ANVIL_COMMON_TEXT_HH
+#define ANVIL_COMMON_TEXT_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anvil {
+
+/** Edit distance between two names (classic dynamic program). */
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/**
+ * The candidate closest to @p name, or nullopt when nothing is near.
+ * Only a genuinely near miss is suggested — a typo, a dropped prefix
+ * (within max(3, len/3) edits of the best candidate) — never an
+ * arbitrary name that merely happens to be least far away.
+ */
+std::optional<std::string>
+nearest_name(std::string_view name,
+             const std::vector<std::string> &candidates);
+
+}  // namespace anvil
+
+#endif  // ANVIL_COMMON_TEXT_HH

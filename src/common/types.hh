@@ -24,6 +24,9 @@ using Pid = std::uint32_t;
 /** An invalid/unmapped address sentinel. */
 inline constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
 
+/** An absent-process sentinel (e.g. a detection no tenant owns). */
+inline constexpr Pid kInvalidPid = ~static_cast<Pid>(0);
+
 /** Kind of a memory operation issued to the memory system. */
 enum class AccessType : std::uint8_t {
     kLoad,

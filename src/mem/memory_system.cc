@@ -62,6 +62,7 @@ MemorySystem::access(Pid pid, Addr va, AccessType type)
     info.llc_miss = on_chip.llc_miss;
     info.complete_time = clock_.now();
 
+    space.note_access();
     if (listener_ != nullptr)
         listener_->on_access(info);
     for (const auto &observer : observers_)

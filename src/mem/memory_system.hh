@@ -95,6 +95,9 @@ class MemorySystem
     AddressSpace &process(Pid pid) { return *spaces_.at(pid); }
     const AddressSpace &process(Pid pid) const { return *spaces_.at(pid); }
 
+    /** Number of process address spaces created (pids are [0, count)). */
+    std::size_t process_count() const { return spaces_.size(); }
+
     /**
      * Performs one load or store: translates, walks the cache hierarchy,
      * touches DRAM on an LLC miss, advances the clock by the access

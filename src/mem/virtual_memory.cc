@@ -211,6 +211,7 @@ void
 AddressSpace::tlb_flush()
 {
     tlb_.fill(TlbEntry{});
+    ++tlb_flushes_;
 }
 
 Addr

@@ -162,6 +162,23 @@ class AddressSpace
     std::uint64_t tlb_hits() const { return tlb_hits_; }
     std::uint64_t tlb_misses() const { return tlb_misses_; }
 
+    /**
+     * Times this TLB was flushed. Flushes happen only on THIS space's
+     * mapping changes — another tenant's mmap/munmap churn never evicts
+     * this process's cached translations (per-tenant TLB isolation).
+     */
+    std::uint64_t tlb_flushes() const { return tlb_flushes_; }
+
+    /**
+     * Completed memory accesses charged to this process — the
+     * per-tenant attribution a system-wide daemon reads. Maintained by
+     * MemorySystem::access via note_access().
+     */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Called by MemorySystem on every completed access of this space. */
+    void note_access() { ++accesses_; }
+
     /** Number of direct-mapped TLB entries. */
     static constexpr std::uint32_t kTlbEntries = 256;
 
@@ -196,6 +213,8 @@ class AddressSpace
     mutable std::array<TlbEntry, kTlbEntries> tlb_;
     mutable std::uint64_t tlb_hits_ = 0;
     mutable std::uint64_t tlb_misses_ = 0;
+    std::uint64_t tlb_flushes_ = 0;
+    std::uint64_t accesses_ = 0;
 };
 
 }  // namespace anvil::mem

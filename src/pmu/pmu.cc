@@ -61,6 +61,12 @@ Pmu::counter(Event event) const
     return counters_[static_cast<std::size_t>(event)];
 }
 
+std::uint64_t
+Pmu::llc_misses(Pid pid) const
+{
+    return pid < pid_llc_misses_.size() ? pid_llc_misses_[pid] : 0;
+}
+
 void
 Pmu::enable_sampling(const SampleConfig &config)
 {
@@ -121,6 +127,12 @@ Pmu::on_access(const mem::AccessInfo &info)
 {
     // Event counters.
     if (info.llc_miss) {
+        // Attribute before ticking: the kLlcMisses tick may fire the
+        // Stage-1 PMI, and the handler should see this miss included in
+        // its owner's total.
+        if (info.pid >= pid_llc_misses_.size())
+            pid_llc_misses_.resize(info.pid + 1, 0);
+        ++pid_llc_misses_[info.pid];
         counter(Event::kLlcMisses).tick();
         if (info.type == AccessType::kLoad)
             counter(Event::kLlcLoadMisses).tick();

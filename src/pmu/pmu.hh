@@ -125,6 +125,21 @@ class Pmu : public mem::AccessListener
     HwCounter &counter(Event event);
     const HwCounter &counter(Event event) const;
 
+    /**
+     * Per-process LLC-miss attribution — the multiplexed counter view a
+     * system-wide daemon uses to rank tenants. Hardware time-multiplexes
+     * one counter across contexts; the model keeps the per-pid totals the
+     * multiplexing estimates. Returns 0 for a pid never observed.
+     */
+    std::uint64_t llc_misses(Pid pid) const;
+
+    /** Per-pid LLC-miss totals, indexed by pid (short pids unobserved). */
+    const std::vector<std::uint64_t> &
+    llc_misses_by_pid() const
+    {
+        return pid_llc_misses_;
+    }
+
     /** Enables PEBS sampling with @p config (replaces prior config). */
     void enable_sampling(const SampleConfig &config);
 
@@ -158,6 +173,7 @@ class Pmu : public mem::AccessListener
     mem::MemorySystem &mem_;
     Rng rng_;
     std::array<HwCounter, kNumEvents> counters_;
+    std::vector<std::uint64_t> pid_llc_misses_;  ///< grown on first miss
     SampleConfig sample_config_;
     bool sampling_enabled_ = false;
     Tick sampling_started_ = 0;       ///< when sampling was (re)enabled

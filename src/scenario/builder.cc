@@ -1,65 +1,68 @@
 #include "scenario/builder.hh"
 
 #include <stdexcept>
+#include <utility>
 
 #include "mitigations/registry.hh"
 #include "runner/sweep.hh"
+#include "scenario/scheduler.hh"
 #include "scenario/validate.hh"
 #include "workload/profile.hh"
 
 namespace anvil::scenario {
 namespace {
 
-/** Builds one attacker on the testbed (target selection + kernel). */
+/** Builds one attacker's hammer (target selection + kernel). */
 BuiltAttack
-build_attack(const AttackSpec &spec, Testbed &bed)
+build_attack(const AttackSpec &spec, mem::MemorySystem &machine,
+             Attacker &attacker)
 {
     BuiltAttack built;
     built.kind = spec.kind;
     switch (spec.kind) {
       case AttackKind::kClflushSingleSided: {
-          const auto target = bed.weakest_single_sided();
+          const auto target = weakest_single_sided(machine, attacker);
           if (!target)
               throw std::runtime_error("no single-sided target");
           built.flat_bank = target->flat_bank;
           built.victim_row = target->aggressor_row + 1;
           built.hammer = std::make_unique<attack::ClflushSingleSided>(
-              bed.machine, bed.attacker->pid(), *target);
+              machine, attacker.pid(), *target);
           break;
       }
       case AttackKind::kClflushDoubleSided: {
-          const auto target = bed.weakest_double_sided();
+          const auto target = weakest_double_sided(machine, attacker);
           if (!target)
               throw std::runtime_error("no double-sided target");
           built.flat_bank = target->flat_bank;
           built.victim_row = target->victim_row;
           built.hammer = std::make_unique<attack::ClflushDoubleSided>(
-              bed.machine, bed.attacker->pid(), *target);
+              machine, attacker.pid(), *target);
           break;
       }
       case AttackKind::kClflushFreeDoubleSided: {
-          const auto target = bed.weakest_double_sided(
-              /*require_slice_compatible=*/true);
+          const auto target = weakest_double_sided(
+              machine, attacker, /*require_slice_compatible=*/true);
           if (!target)
               throw std::runtime_error("no slice-compatible target");
           built.flat_bank = target->flat_bank;
           built.victim_row = target->victim_row;
           built.hammer = std::make_unique<attack::ClflushFreeDoubleSided>(
-              bed.machine, bed.attacker->pid(), *target, bed.layout);
+              machine, attacker.pid(), *target, attacker.layout);
           break;
       }
       case AttackKind::kClflushHalfDouble: {
-          const auto target = bed.weakest_half_double();
+          const auto target = weakest_half_double(machine, attacker);
           if (!target)
               throw std::runtime_error("no half-double target");
           built.flat_bank = target->flat_bank;
           built.victim_row = target->victim_row;
           built.hammer = std::make_unique<attack::ClflushHalfDouble>(
-              bed.machine, bed.attacker->pid(), *target);
+              machine, attacker.pid(), *target);
           break;
       }
       case AttackKind::kTrackerThrash: {
-          auto rows = bed.layout.find_thrash_rows(4096);
+          auto rows = attacker.layout.find_thrash_rows(4096);
           if (rows.empty())
               throw std::runtime_error("no thrash rows");
           // No single victim: the target of this attack is the tracker's
@@ -67,7 +70,7 @@ build_attack(const AttackSpec &spec, Testbed &bed)
           built.flat_bank = 0;
           built.victim_row = 0;
           built.hammer = std::make_unique<attack::TrackerThrash>(
-              bed.machine, bed.attacker->pid(), std::move(rows));
+              machine, attacker.pid(), std::move(rows));
           break;
       }
     }
@@ -75,6 +78,18 @@ build_attack(const AttackSpec &spec, Testbed &bed)
 }
 
 }  // namespace
+
+std::size_t
+Execution::tenant_index_of(Pid pid) const
+{
+    if (pid == kInvalidPid)
+        return tenants_.size();
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (tenants_[i].pid == pid)
+            return i;
+    }
+    return tenants_.size();
+}
 
 ScenarioBuilder::ScenarioBuilder(const ScenarioSpec &spec,
                                  const runner::TrialContext &ctx)
@@ -103,11 +118,19 @@ ScenarioBuilder::build()
     if (spec_.seed_vm_from_trial)
         e.config_.vm_seed = ctx_.seed_for("vm");
 
-    if (!spec_.attacks.empty()) {
-        e.bed_ = std::make_unique<Testbed>(e.config_);
-    } else {
-        e.machine_ = std::make_unique<mem::MemorySystem>(e.config_);
-        e.pmu_ = std::make_unique<pmu::Pmu>(*e.machine_);
+    const std::vector<TenantSpec> tenants = normalized_tenants(spec_);
+
+    e.machine_ = std::make_unique<mem::MemorySystem>(e.config_);
+    e.pmu_ = std::make_unique<pmu::Pmu>(*e.machine_);
+
+    // Attacker processes map and scan their buffers right after the
+    // machine comes up (the legacy Testbed sequence), before any
+    // workload arena claims frames.
+    for (const TenantSpec &t : tenants) {
+        if (t.attack) {
+            e.intruders_.push_back(std::make_unique<Attacker>(
+                *e.machine_, t.attack->buffer_bytes));
+        }
     }
 
     if (ctx_.watchdog().armed()) {
@@ -130,7 +153,10 @@ ScenarioBuilder::build()
         e.machine().advance(draw(spec_.pre_detector));
 
     const auto build_workloads = [&] {
-        for (const WorkloadSpec &ws : spec_.workloads) {
+        for (const TenantSpec &t : tenants) {
+            if (!t.workload)
+                continue;
+            const WorkloadSpec &ws = *t.workload;
             workload::SpecProfile profile =
                 workload::spec_profile(ws.profile);
             if (!ws.seed_stream.empty())
@@ -171,8 +197,29 @@ ScenarioBuilder::build()
     if (!spec_.pre_attack.empty())
         e.machine().advance(draw(spec_.pre_attack));
 
-    for (const AttackSpec &as : spec_.attacks)
-        e.attacks_.push_back(build_attack(as, *e.bed_));
+    std::size_t attacker_index = 0;
+    std::size_t workload_index = 0;
+    for (const TenantSpec &t : tenants) {
+        BuiltTenant built;
+        built.name = t.name;
+        built.quantum_accesses =
+            t.quantum_accesses != 0 ? t.quantum_accesses : 1;
+        built.start_delay = t.start_delay.empty() ? 0 : draw(t.start_delay);
+        if (t.attack) {
+            built.is_attacker = true;
+            built.payload = attacker_index;
+            Attacker &intruder = *e.intruders_[attacker_index];
+            built.pid = intruder.pid();
+            e.attacks_.push_back(
+                build_attack(*t.attack, e.machine(), intruder));
+            ++attacker_index;
+        } else {
+            built.payload = workload_index;
+            built.pid = e.workloads_[workload_index]->pid();
+            ++workload_index;
+        }
+        e.tenants_.push_back(std::move(built));
+    }
 
     return e;
 }
@@ -184,23 +231,34 @@ ScenarioBuilder::run()
     e.run_start_ = e.machine().now();
     e.attack_start_ = e.run_start_;
     e.attack_active_ = !e.attacks_.empty();
+    for (BuiltTenant &t : e.tenants_) {
+        if (!t.is_attacker)
+            t.run_start_ops = e.workloads_[t.payload]->ops();
+    }
+
+    const auto add_tenants = [&](TenantScheduler &sched) {
+        for (const BuiltTenant &t : e.tenants_) {
+            ScheduledTenant st;
+            st.name = t.name;
+            st.pid = t.pid;
+            st.quantum_accesses = t.quantum_accesses;
+            st.not_before = e.run_start_ + t.start_delay;
+            if (t.is_attacker) {
+                attack::Hammer *hammer = e.attacks_[t.payload].hammer.get();
+                st.step = [hammer] { hammer->step(); };
+            } else {
+                workload::Workload *w = e.workloads_[t.payload].get();
+                st.step = [w] { w->step(); };
+            }
+            sched.add(std::move(st));
+        }
+    };
 
     switch (spec_.run.mode) {
       case RunMode::kInterleaveFor: {
-          if (e.attacks_.empty() && e.workloads_.size() == 1) {
-              e.workloads_[0]->run_for(spec_.run.duration);
-              break;
-          }
-          workload::Runner drivers(e.machine());
-          for (BuiltAttack &attack : e.attacks_) {
-              attack::Hammer *hammer = attack.hammer.get();
-              drivers.add([hammer] { hammer->step(); });
-          }
-          for (auto &load : e.workloads_) {
-              workload::Workload *w = load.get();
-              drivers.add([w] { w->step(); });
-          }
-          drivers.run_for(spec_.run.duration);
+          TenantScheduler sched(e.machine());
+          add_tenants(sched);
+          sched.run_until(e.run_start_ + spec_.run.duration);
           break;
       }
       case RunMode::kWorkloadOps: {
@@ -212,7 +270,7 @@ ScenarioBuilder::run()
           BuiltAttack &attack = e.attacks_.at(0);
           // Phase-align so the trial measures pure hammering time within
           // one clean refresh window of the victim.
-          e.bed_->align_to_refresh(attack.victim_row);
+          align_to_refresh(e.machine(), attack.victim_row);
           e.hammer_result_ = attack.hammer->run(
               e.config_.dram.refresh_period + spec_.run.duration);
           break;
@@ -235,12 +293,12 @@ ScenarioBuilder::run()
           // (and any mitigation response it provokes) inflicts.
           workload::Workload *lead = e.workloads_.at(0).get();
           const std::uint64_t start_ops = lead->ops();
-          while (lead->ops() - start_ops < spec_.run.ops) {
-              for (BuiltAttack &attack : e.attacks_)
-                  attack.hammer->step();
-              for (auto &load : e.workloads_)
-                  load->step();
-          }
+          const std::uint64_t quota = spec_.run.ops;
+          TenantScheduler sched(e.machine());
+          add_tenants(sched);
+          sched.run_rounds([lead, start_ops, quota] {
+              return lead->ops() - start_ops < quota;
+          });
           break;
       }
       case RunMode::kPatternMeasure: {
@@ -295,7 +353,7 @@ ScenarioBuilder::emit() const
     for (const Output output : spec_.outputs) {
         switch (output) {
           case Output::kFlips:
-              r.set_counter("flips", e.bed_->machine.dram().flips().size());
+              r.set_counter("flips", e.machine_->dram().flips().size());
               break;
           case Output::kDetections:
               r.set_counter("detections", e.anvil_->stats().detections);
@@ -306,7 +364,7 @@ ScenarioBuilder::emit() const
               break;
           case Output::kAttackMs:
               r.set_value("attack_ms",
-                          to_ms(e.bed_->machine.now() - e.attack_start_));
+                          to_ms(e.machine_->now() - e.attack_start_));
               break;
           case Output::kDetectMs:
               if (!e.anvil_->detections().empty()) {
@@ -329,11 +387,10 @@ ScenarioBuilder::emit() const
               r.set_counter("false_positive_refreshes",
                             e.anvil_->stats().false_positive_refreshes);
               break;
-          case Output::kRunMs: {
-              auto &machine = const_cast<Execution &>(e).machine();
-              r.set_value("run_ms", to_ms(machine.now() - e.run_start_));
+          case Output::kRunMs:
+              r.set_value("run_ms",
+                          to_ms(e.machine_->now() - e.run_start_));
               break;
-          }
           case Output::kOps:
               r.set_counter("ops", spec_.run.ops);
               break;
@@ -374,11 +431,9 @@ ScenarioBuilder::emit() const
               if (e.anvil_)
                   r.set_anvil(e.anvil_->stats());
               break;
-          case Output::kDramStats: {
-              auto &machine = const_cast<Execution &>(e).machine();
-              r.set_dram(machine.dram().stats());
+          case Output::kDramStats:
+              r.set_dram(e.machine_->dram().stats());
               break;
-          }
           case Output::kMitigationRefreshes:
               r.set_counter("mitigation_refreshes",
                             e.mitigation_->stats().neighbor_refreshes);
@@ -387,6 +442,55 @@ ScenarioBuilder::emit() const
               r.set_counter("mitigation_evictions",
                             e.mitigation_->stats().table_evictions);
               break;
+          case Output::kTenantOps:
+              for (const BuiltTenant &t : e.tenants_) {
+                  if (t.is_attacker)
+                      continue;
+                  r.set_counter("ops/" + t.name,
+                                e.workloads_[t.payload]->ops() -
+                                    t.run_start_ops);
+              }
+              break;
+          case Output::kTenantDetections: {
+              std::vector<std::uint64_t> per_tenant(e.tenants_.size(), 0);
+              std::uint64_t unattributed = 0;
+              for (const detector::Detection &d : e.anvil_->detections()) {
+                  const std::size_t idx = e.tenant_index_of(d.offender_pid);
+                  if (idx < e.tenants_.size())
+                      ++per_tenant[idx];
+                  else
+                      ++unattributed;
+              }
+              for (std::size_t i = 0; i < e.tenants_.size(); ++i) {
+                  r.set_counter("detections/" + e.tenants_[i].name,
+                                per_tenant[i]);
+              }
+              r.set_counter("detections/unattributed", unattributed);
+              break;
+          }
+          case Output::kCrossTenantFp: {
+              // A detection blamed on a benign (workload) tenant is a
+              // cross-tenant false positive regardless of the attack
+              // window: the daemon would throttle the wrong process.
+              std::vector<std::uint64_t> per_tenant(e.tenants_.size(), 0);
+              std::uint64_t total = 0;
+              for (const detector::Detection &d : e.anvil_->detections()) {
+                  const std::size_t idx = e.tenant_index_of(d.offender_pid);
+                  if (idx < e.tenants_.size() &&
+                      !e.tenants_[idx].is_attacker) {
+                      ++per_tenant[idx];
+                      ++total;
+                  }
+              }
+              r.set_counter("cross_tenant_fp", total);
+              for (std::size_t i = 0; i < e.tenants_.size(); ++i) {
+                  if (e.tenants_[i].is_attacker)
+                      continue;
+                  r.set_counter("cross_tenant_fp/" + e.tenants_[i].name,
+                                per_tenant[i]);
+              }
+              break;
+          }
         }
     }
     return r;

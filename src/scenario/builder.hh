@@ -1,25 +1,34 @@
 /**
  * @file
  * ScenarioBuilder: instantiates a declarative ScenarioSpec into a running
- * testbed and executes it as one runner trial.
+ * multi-tenant machine and executes it as one runner trial.
  *
  * The build order is fixed and deliberate — it reproduces, step for
  * step, the construction sequence the hand-written experiments used, so
  * migrated scenarios stay bit-identical for a fixed trial seed:
  *
- *   1. machine (Testbed when the scenario has attackers) with the
- *      trial's "vm" sub-stream seeding the page allocator;
+ *   1. machine + PMU, with the trial's "vm" sub-stream seeding the page
+ *      allocator; then every attacker tenant's process (buffer mmap +
+ *      pagemap scan), in tenant order — the legacy Testbed sequence;
  *   2. hardware mitigation attached to the DRAM device;
  *   3. pre-detector clock advance (layout/refresh-phase jitter);
- *   4. benign workloads (each seeded from its named sub-stream);
+ *   4. workload tenants' processes (each seeded from its named
+ *      sub-stream), in tenant order;
  *   5. detector + ground-truth oracle + start;
  *   6. free-run advance (the attack starts at a seed-chosen phase);
- *   7. attack target selection and hammer construction.
+ *   7. attack target selection and hammer construction, in tenant order.
+ *
+ * The run phase hands every tenant to the TenantScheduler
+ * (scheduler.hh): round-robin quanta measured in simulated accesses,
+ * which with all-default quanta reproduces the legacy interleave loops
+ * exactly — single-tenant specs are the degenerate 1-tenant case.
  *
  * Ground-truth labeling: the builder installs an oracle that returns
  * true exactly while the run phase's attack is in flight, so a detection
  * fired outside the attack window (e.g. during the free run) counts as
- * a false positive.
+ * a false positive. Detections additionally carry the offending pid, so
+ * emit() can score each one against the tenant the detector blamed
+ * (cross-tenant false-positive accounting).
  */
 #ifndef ANVIL_SCENARIO_BUILDER_HH
 #define ANVIL_SCENARIO_BUILDER_HH
@@ -47,6 +56,17 @@ struct BuiltAttack {
     std::uint32_t victim_row = 0;
 };
 
+/** One tenant resolved against the built machine. */
+struct BuiltTenant {
+    std::string name;           ///< normalized attribution label
+    bool is_attacker = false;
+    Pid pid = kInvalidPid;      ///< the tenant's address space
+    std::size_t payload = 0;    ///< index into attacks() or workloads()
+    std::uint64_t quantum_accesses = 1;
+    Tick start_delay = 0;       ///< drawn at build, applied at run start
+    std::uint64_t run_start_ops = 0;  ///< workload ops() when run began
+};
+
 /** Per-iteration cost model measured by RunMode::kPatternMeasure. */
 struct PatternStats {
     double misses_per_iteration = 0.0;
@@ -65,28 +85,33 @@ struct PatternStats {
 class Execution
 {
   public:
-    mem::MemorySystem &
-    machine()
-    {
-        return bed_ ? bed_->machine : *machine_;
-    }
-    pmu::Pmu &
-    pmu()
-    {
-        return bed_ ? bed_->pmu : *pmu_;
-    }
-    /** The attacker-carrying testbed; nullptr for attack-free scenarios. */
-    Testbed *testbed() { return bed_.get(); }
+    mem::MemorySystem &machine() { return *machine_; }
+    const mem::MemorySystem &machine() const { return *machine_; }
+    pmu::Pmu &pmu() { return *pmu_; }
     /** The detector; nullptr when the scenario runs unprotected. */
     detector::Anvil *anvil() { return anvil_.get(); }
     /** The hardware mitigation tracker; nullptr when none configured. */
     mitigations::Mitigation *mitigation() { return mitigation_.get(); }
     std::vector<BuiltAttack> &attacks() { return attacks_; }
+    /** Attacker processes, parallel to the attacker tenants' payloads. */
+    std::vector<std::unique_ptr<Attacker>> &intruders()
+    {
+        return intruders_;
+    }
     std::vector<std::unique_ptr<workload::Workload>> &
     workloads()
     {
         return workloads_;
     }
+
+    /** All tenants in schedule order (attacks, workloads, explicit). */
+    const std::vector<BuiltTenant> &tenants() const { return tenants_; }
+
+    /**
+     * Index into tenants() of the tenant owning @p pid, or
+     * tenants().size() when no tenant owns it (e.g. kInvalidPid).
+     */
+    std::size_t tenant_index_of(Pid pid) const;
 
     /** True exactly while the run phase's attack is hammering. */
     bool attack_active() const { return attack_active_; }
@@ -98,14 +123,15 @@ class Execution
     friend class ScenarioBuilder;
 
     mem::SystemConfig config_;
-    std::unique_ptr<Testbed> bed_;              ///< when attacks exist
-    std::unique_ptr<mem::MemorySystem> machine_;  ///< otherwise
+    std::unique_ptr<mem::MemorySystem> machine_;
     std::unique_ptr<pmu::Pmu> pmu_;
+    std::vector<std::unique_ptr<Attacker>> intruders_;
     std::unique_ptr<mitigations::Mitigation> mitigation_;
     std::vector<std::unique_ptr<workload::Workload>> workloads_;
     double boost_ = 1.0;
     std::unique_ptr<detector::Anvil> anvil_;
     std::vector<BuiltAttack> attacks_;
+    std::vector<BuiltTenant> tenants_;
 
     bool attack_active_ = false;
     Tick attack_start_ = 0;
@@ -123,7 +149,7 @@ class ScenarioBuilder
                     const runner::TrialContext &ctx);
 
     /**
-     * Builds the machine, workloads, detector, and attacks in the fixed
+     * Builds the machine, tenants, detector, and attacks in the fixed
      * order documented above. @throw std::runtime_error when a required
      * attack target does not exist in the scanned buffer.
      */

@@ -659,6 +659,206 @@ mitigation_matrix()
     };
 }
 
+/// Victims of the colocation sweep, in pid order after the attacker.
+constexpr const char *kColocationVictims[] = {"mcf", "libquantum",
+                                              "omnetpp", "gcc"};
+
+/// How many simulated accesses one scheduler turn grants each tenant.
+/// Coarser than the legacy 1-step interleave: tenants run in visible
+/// bursts, the regime where cross-tenant attribution can actually err.
+constexpr std::uint64_t kColocationQuantum = 64;
+
+SweepFactory
+multi_tenant_colocation()
+{
+    return {
+        "multi_tenant_colocation",
+        "Multi-tenant colocation: one attacker beside 1-4 victim "
+        "tenants — detection latency, offender attribution, and each "
+        "victim's slowdown vs its solo run",
+        "",
+        [](const runner::CliOptions &) {
+            SweepSpec sweep;
+            sweep.name = "multi_tenant_colocation";
+            sweep.default_trials = 2;
+
+            // Solo baselines: each victim alone on the machine, same
+            // quantum and duration as the colocated cells, so the ops
+            // ratio isolates the neighbours' impact.
+            for (const char *victim : kColocationVictims) {
+                ScenarioSpec s;
+                s.name = std::string("solo/") + victim;
+                TenantSpec t;
+                t.workload =
+                    WorkloadSpec{victim, std::string("w:") + victim,
+                                 /*boost_thrash=*/false};
+                t.quantum_accesses = kColocationQuantum;
+                s.tenants.push_back(std::move(t));
+                s.run.mode = RunMode::kInterleaveFor;
+                s.run.duration = ms(128);
+                s.outputs = {Output::kTenantOps, Output::kDramStats};
+                sweep.cells.push_back(std::move(s));
+            }
+
+            for (std::size_t n = 1; n <= 4; ++n) {
+                ScenarioSpec s;
+                s.name = "colocated/" + std::to_string(n);
+                s.pre_detector = {us(137), us(6000), "phase"};
+                s.detector = detector::AnvilConfig::baseline();
+                s.pre_attack = {ms(1), us(4000), "attack-phase"};
+                TenantSpec attacker;
+                attacker.attack =
+                    AttackSpec{AttackKind::kClflushDoubleSided};
+                attacker.quantum_accesses = kColocationQuantum;
+                s.tenants.push_back(std::move(attacker));
+                for (std::size_t i = 0; i < n; ++i) {
+                    const char *victim = kColocationVictims[i];
+                    TenantSpec t;
+                    t.workload =
+                        WorkloadSpec{victim, std::string("w:") + victim,
+                                     /*boost_thrash=*/false};
+                    t.quantum_accesses = kColocationQuantum;
+                    s.tenants.push_back(std::move(t));
+                }
+                s.run.mode = RunMode::kInterleaveFor;
+                s.run.duration = ms(128);
+                s.outputs = {Output::kDetections,
+                             Output::kDetectMs,
+                             Output::kTenantOps,
+                             Output::kTenantDetections,
+                             Output::kCrossTenantFp,
+                             Output::kAnvilStats,
+                             Output::kDramStats};
+                sweep.cells.push_back(std::move(s));
+            }
+
+            sweep.finalize = [](runner::ResultSink &sink) {
+                for (std::size_t n = 1; n <= 4; ++n) {
+                    const std::string cell =
+                        "colocated/" + std::to_string(n);
+                    const runner::ScenarioAggregate &agg =
+                        sink.scenario(cell);
+                    sink.set_derived(cell, "avg_detect_ms",
+                                     agg.value_mean("detect_ms", -1.0));
+                    for (std::size_t i = 0; i < n; ++i) {
+                        const std::string victim = kColocationVictims[i];
+                        const std::string ops = "ops/" + victim;
+                        const double solo = static_cast<double>(
+                            sink.scenario("solo/" + victim)
+                                .counter_sum(ops));
+                        const double here = static_cast<double>(
+                            agg.counter_sum(ops));
+                        sink.set_derived(cell, "slowdown/" + victim,
+                                         here > 0.0 ? solo / here : 0.0);
+                    }
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
+/// Cache-hostile tenants of the noisy-neighbor sweep: the profiles with
+/// the liveliest conflict-thrash phases, i.e. the likeliest to be
+/// mistaken for a rowhammer aggressor.
+constexpr const char *kNoisyHogs[] = {"gcc", "bzip2", "astar",
+                                      "xalancbmk"};
+
+constexpr std::size_t kNoisyCounts[] = {1, 2, 4};
+
+SweepFactory
+noisy_neighbor_fp()
+{
+    return {
+        "noisy_neighbor_fp",
+        "Noisy neighbors, zero attackers: N boosted cache-hog tenants "
+        "under the system-wide daemon — false-positive refresh rate, "
+        "cross-tenant blame, and the daemon's aggregate overhead",
+        "[run_seconds]",
+        [](const runner::CliOptions &cli) {
+            const double run_sec = cli.positional_double(0, 1.0);
+            SweepSpec sweep;
+            sweep.name = "noisy_neighbor_fp";
+            sweep.default_trials = 1;
+
+            const auto hogs = [&](ScenarioSpec &s, std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const char *hog = kNoisyHogs[i];
+                    TenantSpec t;
+                    t.workload =
+                        WorkloadSpec{hog, std::string("w:") + hog,
+                                     /*boost_thrash=*/true};
+                    t.quantum_accesses = kColocationQuantum;
+                    s.tenants.push_back(std::move(t));
+                }
+                s.run.mode = RunMode::kInterleaveFor;
+                s.run.duration = seconds(run_sec);
+            };
+            for (const std::size_t n : kNoisyCounts) {
+                ScenarioSpec s;
+                s.name = "hogs/" + std::to_string(n);
+                s.detector_before_workloads = true;
+                s.detector = detector::AnvilConfig::baseline();
+                hogs(s, n);
+                s.outputs = {Output::kFalsePositiveRefreshes,
+                             Output::kBoost,
+                             Output::kRunMs,
+                             Output::kTenantOps,
+                             Output::kTenantDetections,
+                             Output::kCrossTenantFp,
+                             Output::kAnvilStats};
+                sweep.cells.push_back(std::move(s));
+
+                ScenarioSpec u;
+                u.name = "hogs/" + std::to_string(n) + "/unprotected";
+                hogs(u, n);
+                u.outputs = {Output::kTenantOps, Output::kRunMs};
+                sweep.cells.push_back(std::move(u));
+            }
+
+            sweep.finalize = [](runner::ResultSink &sink) {
+                for (const std::size_t n : kNoisyCounts) {
+                    const std::string cell =
+                        "hogs/" + std::to_string(n);
+                    const runner::ScenarioAggregate &agg =
+                        sink.scenario(cell);
+                    const RunningStat *run_stat =
+                        agg.value_stat("run_ms");
+                    const double run_ms_total =
+                        run_stat != nullptr ? run_stat->sum() : 0.0;
+                    // Raw boosted rate: divide by the cell's "boost"
+                    // value for the unbiased estimate (the boost is the
+                    // product over every boosted tenant).
+                    sink.set_derived(
+                        cell, "fp_refreshes_per_sec",
+                        run_ms_total > 0.0
+                            ? static_cast<double>(agg.counter_sum(
+                                  "false_positive_refreshes")) /
+                                  (run_ms_total / 1000.0)
+                            : 0.0);
+                    double protected_ops = 0.0;
+                    double unprotected_ops = 0.0;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        const std::string ops =
+                            std::string("ops/") + kNoisyHogs[i];
+                        protected_ops += static_cast<double>(
+                            agg.counter_sum(ops));
+                        unprotected_ops += static_cast<double>(
+                            sink.scenario(cell + "/unprotected")
+                                .counter_sum(ops));
+                    }
+                    sink.set_derived(cell, "overhead",
+                                     protected_ops > 0.0
+                                         ? unprotected_ops /
+                                               protected_ops
+                                         : 0.0);
+                }
+            };
+            return sweep;
+        },
+    };
+}
+
 }  // namespace
 
 const ScenarioRegistry &
@@ -675,6 +875,8 @@ paper_registry()
         r.add(fig4_sensitivity());
         r.add(mitigation_comparison());
         r.add(mitigation_matrix());
+        r.add(multi_tenant_colocation());
+        r.add(noisy_neighbor_fp());
         return r;
     }();
     return registry;

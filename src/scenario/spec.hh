@@ -57,10 +57,17 @@ enum class TargetPolicy {
     kWeakestVictim,
 };
 
+/// The paper's attacker buffer: 64 MB mapped and scanned via pagemap.
+inline constexpr std::uint64_t kDefaultAttackBufferBytes = 64ULL << 20;
+
 /** One attacker in the scenario. */
 struct AttackSpec {
     AttackKind kind = AttackKind::kClflushDoubleSided;
     TargetPolicy target = TargetPolicy::kWeakestVictim;
+    /// Bytes the attacker mmaps and scans for targets. Must be a nonzero
+    /// power of two of at least one THP block, and all attackers together
+    /// must fit the huge-page pool (validate.cc enforces both).
+    std::uint64_t buffer_bytes = kDefaultAttackBufferBytes;
 };
 
 /** One background (or foreground) benign workload. */
@@ -98,6 +105,41 @@ struct PhaseJitter {
     Tick jitter = 0;        ///< advance += seed_for(stream) % jitter
     std::string stream;     ///< named trial sub-stream drawn from
     bool empty() const { return base == 0 && jitter == 0; }
+};
+
+/**
+ * One tenant process of a multi-tenant scenario: an attacker OR a benign
+ * workload, co-scheduled with every other tenant on the one shared
+ * machine (shared frame allocator, caches, DRAM, and detector). The
+ * legacy `attacks`/`workloads` shorthands normalize into tenants (see
+ * normalized_tenants in scheduler.hh), so single-tenant specs are just
+ * the degenerate one-entry case.
+ */
+struct TenantSpec {
+    /// Attribution label: the JSON counter suffix ("ops/<name>",
+    /// "detections/<name>") and the name detections are scored against.
+    /// Empty derives the label from the payload (the workload's profile
+    /// name, or "attacker"); colliding labels are deduplicated with
+    /// "#2", "#3", ... suffixes in declaration order.
+    std::string name;
+
+    /// Exactly one of attack/workload must be set (validate.cc).
+    std::optional<AttackSpec> attack;
+    std::optional<WorkloadSpec> workload;
+
+    /// Scheduler quantum in completed memory accesses: how much of this
+    /// tenant runs before the next tenant gets the core. 1 reproduces
+    /// the legacy one-step-per-turn interleave; larger quanta model
+    /// coarser OS time slices. A tenant step that completes no counted
+    /// access (e.g. a pure-CLFLUSH iteration) still consumes one unit,
+    /// so every quantum makes forward progress.
+    std::uint64_t quantum_accesses = 1;
+
+    /// The tenant joins the schedule only after this (seed-jittered)
+    /// advance past run start — staggered tenant arrival. While every
+    /// tenant is still waiting, the scheduler jumps the clock to the
+    /// first arrival.
+    PhaseJitter start_delay;
 };
 
 /** What the run phase of the scenario does. */
@@ -161,6 +203,15 @@ enum class Output {
     kDramStats,               ///< DRAM stats block
     kMitigationRefreshes,     ///< counter "mitigation_refreshes"
     kMitigationEvictions,     ///< counter "mitigation_evictions"
+    /// counter "ops/<tenant>" per workload tenant: run-phase operations
+    /// (the fixed-time throughput each victim achieved).
+    kTenantOps,
+    /// counter "detections/<tenant>" per tenant, in tenant order, plus
+    /// "detections/unattributed" for detections no tenant owns.
+    kTenantDetections,
+    /// counter "cross_tenant_fp" (detections blamed on a benign tenant)
+    /// plus "cross_tenant_fp/<tenant>" per workload tenant.
+    kCrossTenantFp,
 };
 
 /** One fully declarative experiment cell. */
@@ -204,6 +255,15 @@ struct ScenarioSpec {
     /// Attackers (target selection + hammer construction happen after
     /// the free-run window, like a process that just started).
     std::vector<AttackSpec> attacks;
+
+    /// Explicit tenants scheduled alongside the legacy shorthands.
+    /// Normalized execution (and attribution) order is: `attacks`, then
+    /// `workloads`, then `tenants`, each in declaration order. Process
+    /// creation keeps the legacy phase order regardless (attacker spaces
+    /// scan right after machine construction; workload arenas map at the
+    /// workload-construction point), so pids follow build order, not
+    /// schedule order.
+    std::vector<TenantSpec> tenants;
 
     RunSpec run;
     std::vector<Output> outputs;

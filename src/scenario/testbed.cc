@@ -7,9 +7,64 @@ namespace anvil::scenario {
 Attacker::Attacker(mem::MemorySystem &machine, std::uint64_t buffer_bytes)
     : space(&machine.create_process()),
       buffer(space->mmap(buffer_bytes)),
+      buffer_bytes(buffer_bytes),
       layout(*space, machine.dram().address_map(), machine.hierarchy())
 {
     layout.scan(buffer, buffer_bytes);
+}
+
+bool
+is_weakest_victim(const mem::MemorySystem &machine,
+                  std::uint32_t flat_bank, std::uint32_t victim_row)
+{
+    return machine.dram().disturbance(flat_bank).threshold_of(victim_row) ==
+           machine.dram().config().flip_threshold;
+}
+
+std::optional<attack::DoubleSidedTarget>
+weakest_double_sided(mem::MemorySystem &machine, Attacker &attacker,
+                     bool require_slice_compatible)
+{
+    for (const auto &t : attacker.layout.find_double_sided_targets(1024)) {
+        if (!is_weakest_victim(machine, t.flat_bank, t.victim_row))
+            continue;
+        if (require_slice_compatible &&
+            !attack::ClflushFreeDoubleSided::slice_compatible(
+                machine, attacker.pid(), t)) {
+            continue;
+        }
+        return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<attack::SingleSidedTarget>
+weakest_single_sided(mem::MemorySystem &machine, Attacker &attacker)
+{
+    for (const auto &t :
+         attacker.layout.find_single_sided_targets(1024, 64)) {
+        if (is_weakest_victim(machine, t.flat_bank, t.aggressor_row + 1))
+            return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<attack::HalfDoubleTarget>
+weakest_half_double(mem::MemorySystem &machine, Attacker &attacker)
+{
+    for (const auto &t : attacker.layout.find_half_double_targets(1024)) {
+        if (is_weakest_victim(machine, t.flat_bank, t.victim_row))
+            return t;
+    }
+    return std::nullopt;
+}
+
+void
+align_to_refresh(mem::MemorySystem &machine, std::uint32_t victim_row)
+{
+    const auto &schedule = machine.dram().refresh_schedule();
+    machine.advance(schedule.next_refresh(victim_row, machine.now()) + 10 -
+                    machine.now());
 }
 
 Testbed::Testbed(mem::SystemConfig config)
@@ -25,52 +80,32 @@ Testbed::Testbed(mem::SystemConfig config)
 void
 Testbed::align_to_refresh(std::uint32_t victim_row)
 {
-    const auto &schedule = machine.dram().refresh_schedule();
-    machine.advance(schedule.next_refresh(victim_row, machine.now()) + 10 -
-                    machine.now());
+    scenario::align_to_refresh(machine, victim_row);
 }
 
 bool
 Testbed::is_weakest(std::uint32_t flat_bank, std::uint32_t victim_row) const
 {
-    return machine.dram().disturbance(flat_bank).threshold_of(victim_row) ==
-           machine.dram().config().flip_threshold;
+    return is_weakest_victim(machine, flat_bank, victim_row);
 }
 
 std::optional<attack::DoubleSidedTarget>
 Testbed::weakest_double_sided(bool require_slice_compatible)
 {
-    for (const auto &t : layout.find_double_sided_targets(1024)) {
-        if (!is_weakest(t.flat_bank, t.victim_row))
-            continue;
-        if (require_slice_compatible &&
-            !attack::ClflushFreeDoubleSided::slice_compatible(
-                machine, attacker->pid(), t)) {
-            continue;
-        }
-        return t;
-    }
-    return std::nullopt;
+    return scenario::weakest_double_sided(machine, intruder_,
+                                          require_slice_compatible);
 }
 
 std::optional<attack::SingleSidedTarget>
 Testbed::weakest_single_sided()
 {
-    for (const auto &t : layout.find_single_sided_targets(1024, 64)) {
-        if (is_weakest(t.flat_bank, t.aggressor_row + 1))
-            return t;
-    }
-    return std::nullopt;
+    return scenario::weakest_single_sided(machine, intruder_);
 }
 
 std::optional<attack::HalfDoubleTarget>
 Testbed::weakest_half_double()
 {
-    for (const auto &t : layout.find_half_double_targets(1024)) {
-        if (is_weakest(t.flat_bank, t.victim_row))
-            return t;
-    }
-    return std::nullopt;
+    return scenario::weakest_half_double(machine, intruder_);
 }
 
 double

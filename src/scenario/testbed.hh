@@ -33,10 +33,33 @@ struct Attacker {
     explicit Attacker(mem::MemorySystem &machine,
                       std::uint64_t buffer_bytes = kBufferBytes);
 
+    Pid pid() const { return space->pid(); }
+
     mem::AddressSpace *space;
     Addr buffer;
+    std::uint64_t buffer_bytes;
     attack::MemoryLayout layout;
 };
+
+/** True if @p victim_row has the module's minimum flip threshold. */
+bool is_weakest_victim(const mem::MemorySystem &machine,
+                       std::uint32_t flat_bank, std::uint32_t victim_row);
+
+/** First double-sided target whose victim is maximally sensitive. */
+std::optional<attack::DoubleSidedTarget>
+weakest_double_sided(mem::MemorySystem &machine, Attacker &attacker,
+                     bool require_slice_compatible = false);
+
+/** First single-sided target with a maximally sensitive victim. */
+std::optional<attack::SingleSidedTarget>
+weakest_single_sided(mem::MemorySystem &machine, Attacker &attacker);
+
+/** First half-double target whose victim is maximally sensitive. */
+std::optional<attack::HalfDoubleTarget>
+weakest_half_double(mem::MemorySystem &machine, Attacker &attacker);
+
+/** Advances the clock to just after @p victim_row's next refresh. */
+void align_to_refresh(mem::MemorySystem &machine, std::uint32_t victim_row);
 
 /** A machine with one attacker process that has scanned a 64 MB buffer. */
 class Testbed

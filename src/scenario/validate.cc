@@ -3,10 +3,14 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/bits.hh"
 #include "common/error.hh"
+#include "common/text.hh"
+#include "mem/virtual_memory.hh"
 #include "mitigations/registry.hh"
+#include "scenario/scheduler.hh"
 #include "workload/profile.hh"
 
 namespace anvil::scenario {
@@ -75,6 +79,8 @@ needs_detector(Output output)
       case Output::kDetectMs:
       case Output::kFpPerSec:
       case Output::kFalsePositiveRefreshes:
+      case Output::kTenantDetections:
+      case Output::kCrossTenantFp:
           return true;
       default:
           return false;
@@ -148,7 +154,68 @@ validate(const ScenarioSpec &spec)
                          "would flip its neighbours immediately");
     }
 
-    if (needs_attack(spec.run.mode) && spec.attacks.empty()) {
+    for (const TenantSpec &t : spec.tenants) {
+        if (t.attack.has_value() == t.workload.has_value()) {
+            throw cell_error(spec,
+                             "a tenant must carry exactly one payload — "
+                             "either an attack or a workload, not both "
+                             "and not neither")
+                .with("tenant", t.name.empty() ? "<unnamed>" : t.name);
+        }
+        if (t.quantum_accesses == 0) {
+            throw cell_error(spec,
+                             "tenant quantum_accesses is zero — the "
+                             "scheduler grants quanta in completed "
+                             "simulated accesses, so every tenant needs "
+                             "at least one")
+                .with("tenant", t.name.empty() ? "<unnamed>" : t.name);
+        }
+    }
+
+    const std::vector<TenantSpec> tenants = normalized_tenants(spec);
+    bool has_attack = false;
+    std::size_t workload_tenants = 0;
+    std::uint64_t buffer_total = 0;
+    for (const TenantSpec &t : tenants) {
+        if (t.attack) {
+            has_attack = true;
+            const std::uint64_t bytes = t.attack->buffer_bytes;
+            if (bytes == 0 || !is_pow2(bytes)) {
+                throw cell_error(spec,
+                                 "attack buffer_bytes must be a nonzero "
+                                 "power of two — the pagemap scan walks "
+                                 "the buffer in pow2 strides")
+                    .with("tenant", t.name)
+                    .with("buffer_bytes", bytes);
+            }
+            if (bytes < mem::kHugeBytes) {
+                throw cell_error(spec,
+                                 "attack buffer_bytes is below one huge "
+                                 "page — the attacker maps 2 MB THP "
+                                 "frames, so smaller buffers cannot be "
+                                 "placed")
+                    .with("tenant", t.name)
+                    .with("buffer_bytes", bytes)
+                    .with("huge_page_bytes", mem::kHugeBytes);
+            }
+            buffer_total += bytes;
+        } else {
+            ++workload_tenants;
+        }
+    }
+    // The huge-page pool is the upper half of physical memory; an
+    // attacker set that outgrows it would fail mid-mmap with an obscure
+    // allocator error, so reject it here with the actual budget.
+    const std::uint64_t huge_pool = dram.capacity_bytes() / 2;
+    if (buffer_total > huge_pool) {
+        throw cell_error(spec,
+                         "attacker buffers exceed the huge-page pool "
+                         "(half of physical memory)")
+            .with("buffer_total", buffer_total)
+            .with("huge_pool_bytes", huge_pool);
+    }
+
+    if (needs_attack(spec.run.mode) && !has_attack) {
         throw cell_error(spec,
                          "this run mode drives a hammer kernel but the "
                          "scenario declares no attacks — add an AttackSpec "
@@ -161,7 +228,7 @@ validate(const ScenarioSpec &spec)
                          "divides per-iteration deltas by it");
     }
     if (spec.run.mode == RunMode::kInterleaveUntilOps) {
-        if (spec.workloads.empty()) {
+        if (workload_tenants == 0) {
             throw cell_error(spec,
                              "kInterleaveUntilOps runs until the first "
                              "workload finishes its quota, but the "
@@ -173,18 +240,27 @@ validate(const ScenarioSpec &spec)
     if (!spec.mitigation.empty() &&
         mitigations::mitigation_registry().find(spec.mitigation) ==
             nullptr) {
-        throw cell_error(spec, "unknown mitigation tracker")
-            .with("mitigation", spec.mitigation)
-            .with("known",
-                  mitigations::mitigation_registry().known_names());
+        std::vector<std::string> names;
+        for (const mitigations::MitigationEntry &entry :
+             mitigations::mitigation_registry().all())
+            names.push_back(entry.name);
+        Error error = cell_error(spec, "unknown mitigation tracker")
+                          .with("mitigation", spec.mitigation)
+                          .with("known", mitigations::mitigation_registry()
+                                             .known_names());
+        if (const auto near = nearest_name(spec.mitigation, names))
+            error.with("did_you_mean", *near);
+        throw error;
     }
 
-    for (const WorkloadSpec &ws : spec.workloads) {
+    for (const TenantSpec &t : tenants) {
+        if (!t.workload)
+            continue;
         try {
-            (void)workload::spec_profile(ws.profile);
+            (void)workload::spec_profile(t.workload->profile);
         } catch (const std::out_of_range &) {
             throw cell_error(spec, "unknown workload profile")
-                .with("profile", ws.profile)
+                .with("profile", t.workload->profile)
                 .with("known", known_profiles());
         }
     }
@@ -196,10 +272,15 @@ validate(const ScenarioSpec &spec)
                              "scenario runs unprotected — configure "
                              "`detector` or drop the output");
         }
-        if (needs_testbed(output) && spec.attacks.empty()) {
+        if (needs_testbed(output) && !has_attack) {
             throw cell_error(spec,
                              "an output reads attack results but the "
                              "scenario declares no attacks");
+        }
+        if (output == Output::kTenantOps && workload_tenants == 0) {
+            throw cell_error(spec,
+                             "kTenantOps reports per-tenant workload "
+                             "progress but no tenant carries a workload");
         }
         if (needs_mitigation(output) && spec.mitigation.empty()) {
             throw cell_error(spec,

@@ -11,6 +11,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/text.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 
@@ -234,6 +235,27 @@ TEST(Types, ToStringCoversAll)
     EXPECT_STREQ(to_string(DataSource::kDram), "DRAM");
     EXPECT_STREQ(to_string(AccessType::kLoad), "load");
     EXPECT_STREQ(to_string(AccessType::kStore), "store");
+}
+
+TEST(Text, EditDistanceClassicCases)
+{
+    EXPECT_EQ(edit_distance("", ""), 0u);
+    EXPECT_EQ(edit_distance("abc", ""), 3u);
+    EXPECT_EQ(edit_distance("", "abc"), 3u);
+    EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+    EXPECT_EQ(edit_distance("trr", "trr"), 0u);
+    EXPECT_EQ(edit_distance("ctr-evict", "ctrr-evict"), 1u);
+}
+
+TEST(Text, NearestNameSuggestsOnlyGenuineNearMisses)
+{
+    const std::vector<std::string> names = {"para", "trr", "ctrr-evict",
+                                            "rvc", "dapper"};
+    EXPECT_EQ(nearest_name("ctr-evict", names), "ctrr-evict");
+    EXPECT_EQ(nearest_name("parra", names), "para");
+    // Nothing near: an arbitrary name must not draw a suggestion.
+    EXPECT_FALSE(nearest_name("completely-different", names).has_value());
+    EXPECT_FALSE(nearest_name("x", {}).has_value());
 }
 
 }  // namespace

@@ -408,5 +408,44 @@ TEST_F(MemorySystemTest, EventsFireDuringAccessLatency)
     EXPECT_TRUE(fired);
 }
 
+TEST_F(MemorySystemTest, AccessesAreChargedToTheOwningSpace)
+{
+    AddressSpace &p1 = machine_.create_process();
+    AddressSpace &p2 = machine_.create_process();
+    const Addr va1 = p1.mmap(kPageBytes);
+    const Addr va2 = p2.mmap(kPageBytes);
+
+    for (int i = 0; i < 3; ++i)
+        machine_.access(p1.pid(), va1, AccessType::kLoad);
+    machine_.access(p2.pid(), va2, AccessType::kStore);
+
+    EXPECT_EQ(p1.accesses(), 3u);
+    EXPECT_EQ(p2.accesses(), 1u);
+    EXPECT_EQ(machine_.process_count(), 2u);
+}
+
+TEST_F(MemorySystemTest, TlbFlushesStayWithinTheirSpace)
+{
+    AddressSpace &p1 = machine_.create_process();
+    AddressSpace &p2 = machine_.create_process();
+    const Addr va1 = p1.mmap(kPageBytes);
+    EXPECT_EQ(p1.tlb_flushes(), 1u);  // the mmap itself
+
+    // Another tenant's mapping churn must never evict this process's
+    // cached translations.
+    for (int i = 0; i < 4; ++i) {
+        const Addr va2 = p2.mmap(kPageBytes);
+        p2.munmap(va2, kPageBytes);
+    }
+    EXPECT_EQ(p1.tlb_flushes(), 1u);
+    EXPECT_EQ(p2.tlb_flushes(), 8u);  // 4 x (mmap + munmap)
+
+    // A warm translation survives the neighbor's churn.
+    (void)p1.translate(va1);
+    const std::uint64_t misses_before = p1.tlb_misses();
+    (void)p1.translate(va1);
+    EXPECT_EQ(p1.tlb_misses(), misses_before);
+}
+
 }  // namespace
 }  // namespace anvil::mem

@@ -17,13 +17,13 @@
  * (SIGINT/SIGTERM drained the sweep — rerun with --resume); 4 = complete
  * but at least one trial failed (see the JSON "failures" records).
  */
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
+#include "common/text.hh"
 #include "runner/options.hh"
 #include "runner/sweep.hh"
 #include "scenario/builder.hh"
@@ -47,46 +47,16 @@ print_list()
     }
 }
 
-/** Edit distance between two names (classic dynamic program). */
-std::size_t
-edit_distance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t up = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = up;
-        }
-    }
-    return row[b.size()];
-}
-
 /** The registered sweep closest to @p name, or nullptr if nothing near. */
 const scenario::SweepFactory *
 nearest_sweep(const std::string &name)
 {
-    const scenario::SweepFactory *best = nullptr;
-    std::size_t best_distance = 0;
+    std::vector<std::string> names;
     for (const scenario::SweepFactory &factory :
-         scenario::paper_registry().all()) {
-        const std::size_t d = edit_distance(name, factory.name);
-        if (best == nullptr || d < best_distance) {
-            best = &factory;
-            best_distance = d;
-        }
-    }
-    // Only suggest a genuinely near miss: a typo, a dropped prefix —
-    // not an arbitrary name that happens to be least far away.
-    const std::size_t cutoff =
-        best != nullptr ? std::max<std::size_t>(3, best->name.size() / 3)
-                        : 0;
-    return best != nullptr && best_distance <= cutoff ? best : nullptr;
+         scenario::paper_registry().all())
+        names.push_back(factory.name);
+    const auto near = nearest_name(name, names);
+    return near ? scenario::paper_registry().find(*near) : nullptr;
 }
 
 }  // namespace
