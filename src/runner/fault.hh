@@ -4,25 +4,47 @@
  *
  * A FaultPlan forces failures at chosen (scenario, trial) coordinates so
  * tests and CI can exercise every fault path of the sweep engine — error
- * boundaries, retries, watchdog timeouts, journaling, resume — without
- * depending on real infrastructure flaking at the right moment. All
- * injected behaviour is a pure function of the trial's identity (and, for
- * corruption, of the trial RNG's named "fault" sub-stream), so an
- * injection is exactly replayable: the same command line fails the same
- * trial the same way every run.
+ * boundaries, retries, watchdog timeouts, journaling, resume, and the
+ * shard supervisor's crash/respawn machinery — without depending on real
+ * infrastructure flaking at the right moment. All injected behaviour is
+ * a pure function of the trial's identity (and, for corruption, of the
+ * trial RNG's named "fault" sub-stream), so an injection is exactly
+ * replayable: the same command line fails the same trial the same way
+ * every run.
  *
  * CLI syntax (repeatable): --inject-fault kind@scenario:trial
  *
- *   throw    the trial throws before running (fails every attempt)
- *   flaky    the trial throws on its first attempt only — succeeds when
- *            retried, with the identical re-derived seed (exercises
- *            --retries determinism)
- *   hang     the trial spins consuming simulated events until the
- *            --trial-timeout watchdog aborts it (an error when no
- *            timeout is configured, since it would never terminate)
- *   corrupt  the trial runs normally, then its counters are perturbed by
- *            a seed-derived delta (silent corruption; exercises
- *            downstream detection such as resume byte-comparisons)
+ *   throw        the trial throws before running (fails every attempt)
+ *   flaky        the trial throws on its first attempt only — succeeds
+ *                when retried, with the identical re-derived seed
+ *                (exercises --retries determinism)
+ *   hang         the trial spins consuming simulated events until the
+ *                --trial-timeout watchdog aborts it (an error when no
+ *                timeout is configured, since it would never terminate)
+ *   corrupt      the trial runs normally, then its counters are
+ *                perturbed by a seed-derived delta (silent corruption;
+ *                exercises downstream detection such as resume
+ *                byte-comparisons)
+ *
+ * Process-level kinds kill or wedge the whole process, exercising the
+ * supervisor's shard-death paths (crash detection, lease expiry,
+ * respawn, requeue):
+ *
+ *   abort        std::abort() mid-trial (SIGABRT — a real crash, not an
+ *                exception the error boundary could catch)
+ *   sigkill-self SIGKILL to the own process mid-trial (the external
+ *                kill -9 / OOM-kill case, but deterministic)
+ *   stall        SIGSTOP to the own process — every thread freezes,
+ *                heartbeats stop, and the supervisor's lease expires
+ *                (the hung-process case)
+ *
+ * Process-level kinds fire **once**: before crashing, the fault durably
+ * creates a marker file next to the sweep's JSON destination, and a
+ * respawned process that finds the marker skips the injection. Without
+ * that, a deterministic crash would burn every respawn in the
+ * supervisor's budget and no recovery path could ever be tested to
+ * completion. (With no file JSON destination there is nowhere to put
+ * the marker, so the fault fires every time.)
  */
 #ifndef ANVIL_RUNNER_FAULT_HH
 #define ANVIL_RUNNER_FAULT_HH
@@ -36,7 +58,18 @@
 namespace anvil::runner {
 
 /** What an injected fault does to its trial. */
-enum class FaultKind : std::uint8_t { kThrow, kFlaky, kHang, kCorrupt };
+enum class FaultKind : std::uint8_t {
+    kThrow,
+    kFlaky,
+    kHang,
+    kCorrupt,
+    kAbort,        ///< process-level: SIGABRT mid-trial
+    kSigkillSelf,  ///< process-level: SIGKILL mid-trial
+    kStall,        ///< process-level: SIGSTOP (freezes heartbeats too)
+};
+
+/** True for kinds that kill or wedge the whole process. */
+bool is_process_fault(FaultKind kind);
 
 /** One injection coordinate: fail trial @p trial of @p scenario. */
 struct FaultSpec {
@@ -52,6 +85,17 @@ struct FaultSpec {
  */
 FaultSpec parse_fault(const std::string &text);
 
+/** Renders @p fault back to its CLI form (supervisor respawn lines). */
+std::string to_string(const FaultSpec &fault);
+
+/**
+ * The once-marker path for a process-level fault: @p base (the sweep's
+ * JSON destination) plus a deterministic suffix derived from the fault
+ * coordinate.
+ */
+std::string fault_marker_path(const std::string &base,
+                              const FaultSpec &fault);
+
 /** The faults active for one sweep. */
 class FaultPlan
 {
@@ -64,16 +108,25 @@ class FaultPlan
 
     bool empty() const { return faults_.empty(); }
 
+    /**
+     * Sets the directory anchor for process-fault once-markers (the
+     * sweep's JSON destination). Empty = markers disabled, process
+     * faults fire on every execution.
+     */
+    void set_marker_base(std::string base) { marker_base_ = std::move(base); }
+
     /** The fault aimed at @p spec, or nullptr. */
     const FaultSpec *match(const TrialSpec &spec) const;
 
     /**
      * Runs the pre-execution stage of @p fault for attempt @p attempt
      * (1-based): throws for kThrow always and kFlaky on the first
-     * attempt; spins the watchdog down for kHang. No-op for kCorrupt.
+     * attempt; spins the watchdog down for kHang; crashes or stops the
+     * process for the process-level kinds (once, when a marker base is
+     * set). No-op for kCorrupt.
      */
-    static void inject_before(const FaultSpec &fault,
-                              const TrialContext &ctx, unsigned attempt);
+    void inject_before(const FaultSpec &fault, const TrialContext &ctx,
+                       unsigned attempt) const;
 
     /**
      * Runs the post-execution stage: perturbs @p result's counters and
@@ -85,6 +138,7 @@ class FaultPlan
 
   private:
     std::vector<FaultSpec> faults_;
+    std::string marker_base_;
 };
 
 }  // namespace anvil::runner

@@ -5,15 +5,23 @@
 
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <string_view>
 
 namespace anvil::runner {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'N', 'V', 'L', 'J', 'N', 'L', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2 added the plan hash + shard identity to the header and a type byte
+// to every record payload (trial vs lease).
+constexpr std::uint32_t kVersion = 2;
+
+/** Payload discriminator (first byte of every record payload). */
+enum RecordType : std::uint8_t { kTrialRecord = 0, kLeaseRecord = 1 };
 
 /** FNV-1a 64-bit over raw bytes (record checksums). */
 std::uint64_t
@@ -123,66 +131,128 @@ class Decoder
 };
 
 std::string
-encode_header(const std::string &sweep, std::uint64_t master_seed)
+encode_header(const JournalHeader &header)
 {
     Encoder e;
     e.bytes.append(kMagic, sizeof kMagic);
     e.put_u32(kVersion);
-    e.put_u64(master_seed);
-    e.put_string(sweep);
+    e.put_u64(header.master_seed);
+    e.put_string(header.sweep);
+    e.put_u64(header.plan_hash);
+    e.put_u32(header.shard_index);
+    e.put_u32(header.shard_count);
     return e.bytes;
+}
+
+/** Decodes the header; also returns its on-disk size via @p size. */
+JournalHeader
+decode_header(const std::string &data, const std::string &path,
+              std::size_t &size)
+{
+    if (data.size() < sizeof kMagic ||
+        std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
+        throw Error("journal is not an anvil sweep journal")
+            .with("path", path);
+    }
+    Decoder d(data.data() + sizeof kMagic, data.size() - sizeof kMagic);
+    JournalHeader header;
+    try {
+        const std::uint32_t version = d.get_u32();
+        if (version != kVersion) {
+            throw Error("journal format version is not supported by "
+                        "this build; delete the journal and rerun")
+                .with("path", path)
+                .with("version", std::uint64_t{version})
+                .with("supported", std::uint64_t{kVersion});
+        }
+        header.master_seed = d.get_u64();
+        header.sweep = d.get_string();
+        header.plan_hash = d.get_u64();
+        header.shard_index = d.get_u32();
+        header.shard_count = d.get_u32();
+    } catch (const Error &e) {
+        if (std::string_view(e.message()).find("version") !=
+            std::string_view::npos)
+            throw;
+        throw Error("journal header is truncated")
+            .with("path", path)
+            .caused_by(e);
+    }
+    size = encode_header(header).size();
+    return header;
+}
+
+/**
+ * Field-by-field header validation: exact for name and seed, and for
+ * plan hash / shard identity when the caller recorded expectations.
+ */
+void
+validate_header(const JournalHeader &got, const JournalHeader &expect,
+                const std::string &path)
+{
+    if (got.sweep != expect.sweep ||
+        got.master_seed != expect.master_seed) {
+        throw Error("journal belongs to a different sweep configuration "
+                    "(name or master seed mismatch); delete it or rerun "
+                    "without --resume")
+            .with("path", path)
+            .with("journal_sweep", got.sweep)
+            .with("sweep", expect.sweep)
+            .with_hex("journal_master_seed", got.master_seed)
+            .with_hex("master_seed", expect.master_seed);
+    }
+    if (expect.plan_hash != 0 && got.plan_hash != 0 &&
+        got.plan_hash != expect.plan_hash) {
+        throw Error("journal was written against a different sweep plan "
+                    "(trial count or scenario set changed); delete it "
+                    "or rerun with the original flags")
+            .with("path", path)
+            .with_hex("journal_plan", got.plan_hash)
+            .with_hex("plan", expect.plan_hash);
+    }
+    if (expect.shard_count != 0 &&
+        (got.shard_count != expect.shard_count ||
+         got.shard_index != expect.shard_index)) {
+        throw Error("journal belongs to a different shard assignment")
+            .with("path", path)
+            .with_shard(got.shard_index, got.shard_count)
+            .with("expected_shard", std::to_string(expect.shard_index) +
+                                        "/" +
+                                        std::to_string(expect.shard_count));
+    }
 }
 
 std::string
-encode_payload(const TrialSpec &spec, const TrialOutcome &outcome)
+encode_lease_payload(std::uint64_t seq)
 {
     Encoder e;
-    e.put_u64(spec.global_index);
-    e.put_u64(spec.trial);
-    e.put_u64(spec.seed);
-    e.put_string(spec.scenario);
-    e.put_u8(static_cast<std::uint8_t>(outcome.status));
-    e.put_u32(outcome.attempts);
-    e.put_string(outcome.error);
-    const TrialResult &r = outcome.result;
-    e.put_u32(static_cast<std::uint32_t>(r.values().size()));
-    for (const auto &[name, v] : r.values()) {
-        e.put_string(name);
-        e.put_double(v);
-    }
-    e.put_u32(static_cast<std::uint32_t>(r.counters().size()));
-    for (const auto &[name, v] : r.counters()) {
-        e.put_string(name);
-        e.put_u64(v);
-    }
-    e.put_u8(r.has_anvil() ? 1 : 0);
-    if (r.has_anvil()) {
-        const detector::AnvilStats &s = r.anvil();
-        e.put_u64(s.stage1_windows);
-        e.put_u64(s.stage1_triggers);
-        e.put_u64(s.stage2_windows);
-        e.put_u64(s.detections);
-        e.put_u64(s.selective_refreshes);
-        e.put_u64(s.false_positive_detections);
-        e.put_u64(s.false_positive_refreshes);
-        e.put_u64(s.overhead);
-    }
-    e.put_u8(r.has_dram() ? 1 : 0);
-    if (r.has_dram()) {
-        const dram::DramSystem::Stats &s = r.dram();
-        e.put_u64(s.accesses);
-        e.put_u64(s.row_hits);
-        e.put_u64(s.row_misses);
-        e.put_u64(s.selective_refreshes);
-        e.put_u64(s.refresh_stall);
-    }
+    e.put_u8(kLeaseRecord);
+    e.put_u64(static_cast<std::uint64_t>(::getpid()));
+    e.put_u64(seq);
+    e.put_u64(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count()));
     return e.bytes;
 }
 
-JournalRecord
+/** Decodes one payload; lease records yield nullopt (liveness only). */
+std::optional<JournalRecord>
 decode_payload(const char *data, std::size_t size)
 {
     Decoder d(data, size);
+    const std::uint8_t type = d.get_u8();
+    if (type == kLeaseRecord) {
+        d.get_u64();  // pid
+        d.get_u64();  // seq
+        d.get_u64();  // wall-clock ms
+        if (!d.exhausted())
+            throw Error("lease record payload has trailing bytes");
+        return std::nullopt;
+    }
+    if (type != kTrialRecord)
+        throw Error("unknown journal record type")
+            .with("type", std::uint64_t{type});
     JournalRecord rec;
     rec.spec.global_index = d.get_u64();
     rec.spec.trial = d.get_u64();
@@ -247,12 +317,103 @@ write_all(int fd, const char *data, std::size_t size,
     }
 }
 
+/** Frames @p payload (length prefix + checksum) and appends it. */
+void
+append_framed(int fd, std::mutex &mutex, const std::string &payload,
+              const std::string &path)
+{
+    Encoder record;
+    record.put_u32(static_cast<std::uint32_t>(payload.size()));
+    record.put_u64(fnv1a_bytes(payload.data(), payload.size()));
+    record.bytes.append(payload);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (fd < 0)
+        return;
+    // One contiguous write then fsync: a crash leaves at most one torn
+    // trailing record, which read_journal truncates away on resume.
+    write_all(fd, record.bytes.data(), record.bytes.size(), path);
+    ::fsync(fd);
+}
+
 }  // namespace
+
+std::string
+encode_journal_payload(const TrialSpec &spec, const TrialOutcome &outcome)
+{
+    Encoder e;
+    e.put_u8(kTrialRecord);
+    e.put_u64(spec.global_index);
+    e.put_u64(spec.trial);
+    e.put_u64(spec.seed);
+    e.put_string(spec.scenario);
+    e.put_u8(static_cast<std::uint8_t>(outcome.status));
+    e.put_u32(outcome.attempts);
+    e.put_string(outcome.error);
+    const TrialResult &r = outcome.result;
+    e.put_u32(static_cast<std::uint32_t>(r.values().size()));
+    for (const auto &[name, v] : r.values()) {
+        e.put_string(name);
+        e.put_double(v);
+    }
+    e.put_u32(static_cast<std::uint32_t>(r.counters().size()));
+    for (const auto &[name, v] : r.counters()) {
+        e.put_string(name);
+        e.put_u64(v);
+    }
+    e.put_u8(r.has_anvil() ? 1 : 0);
+    if (r.has_anvil()) {
+        const detector::AnvilStats &s = r.anvil();
+        e.put_u64(s.stage1_windows);
+        e.put_u64(s.stage1_triggers);
+        e.put_u64(s.stage2_windows);
+        e.put_u64(s.detections);
+        e.put_u64(s.selective_refreshes);
+        e.put_u64(s.false_positive_detections);
+        e.put_u64(s.false_positive_refreshes);
+        e.put_u64(s.overhead);
+    }
+    e.put_u8(r.has_dram() ? 1 : 0);
+    if (r.has_dram()) {
+        const dram::DramSystem::Stats &s = r.dram();
+        e.put_u64(s.accesses);
+        e.put_u64(s.row_hits);
+        e.put_u64(s.row_misses);
+        e.put_u64(s.selective_refreshes);
+        e.put_u64(s.refresh_stall);
+    }
+    return e.bytes;
+}
 
 std::string
 journal_path(const std::string &json_out)
 {
     return json_out + ".journal";
+}
+
+std::string
+shard_journal_path(const std::string &json_out, std::uint32_t index)
+{
+    return json_out + ".shard-" + std::to_string(index) + ".journal";
+}
+
+void
+fsync_parent_dir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) {
+        std::cerr << "[runner] cannot open directory " << dir
+                  << " for fsync: " << std::strerror(errno) << "\n";
+        return;
+    }
+    if (::fsync(fd) != 0) {
+        std::cerr << "[runner] cannot fsync directory " << dir << ": "
+                  << std::strerror(errno) << "\n";
+    }
+    ::close(fd);
 }
 
 JournalWriter::~JournalWriter()
@@ -261,22 +422,22 @@ JournalWriter::~JournalWriter()
 }
 
 void
-JournalWriter::open(const std::string &path, const std::string &sweep,
-                    std::uint64_t master_seed, bool append)
+JournalWriter::open(const std::string &path, const JournalHeader &header,
+                    bool append)
 {
     close();
     path_ = path;
-    const std::string header = encode_header(sweep, master_seed);
+    const std::string encoded = encode_header(header);
     if (append) {
         fd_ = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
         if (fd_ >= 0) {
             // Existing journal: the header must belong to this sweep
             // (read_journal validated it in detail; this is the cheap
             // re-check for the append handle).
-            std::string existing(header.size(), '\0');
+            std::string existing(encoded.size(), '\0');
             const ssize_t n = ::read(fd_, existing.data(), existing.size());
-            if (n != static_cast<ssize_t>(header.size()) ||
-                existing != header) {
+            if (n != static_cast<ssize_t>(encoded.size()) ||
+                existing != encoded) {
                 ::close(fd_);
                 fd_ = -1;
                 throw Error("journal header does not match this sweep")
@@ -303,26 +464,34 @@ JournalWriter::open(const std::string &path, const std::string &sweep,
             .with("path", path)
             .caused_by(std::strerror(errno));
     }
-    write_all(fd_, header.data(), header.size(), path_);
+    write_all(fd_, encoded.data(), encoded.size(), path_);
     ::fsync(fd_);
+    // A journal whose directory entry evaporates on power loss would
+    // leave a committed-looking run with nothing to resume from.
+    fsync_parent_dir(path_);
+}
+
+void
+JournalWriter::open(const std::string &path, const std::string &sweep,
+                    std::uint64_t master_seed, bool append)
+{
+    JournalHeader header;
+    header.sweep = sweep;
+    header.master_seed = master_seed;
+    open(path, header, append);
 }
 
 void
 JournalWriter::append(const TrialSpec &spec, const TrialOutcome &outcome)
 {
-    const std::string payload = encode_payload(spec, outcome);
-    Encoder record;
-    record.put_u32(static_cast<std::uint32_t>(payload.size()));
-    record.put_u64(fnv1a_bytes(payload.data(), payload.size()));
-    record.bytes.append(payload);
+    append_framed(fd_, mutex_, encode_journal_payload(spec, outcome),
+                  path_);
+}
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fd_ < 0)
-        return;
-    // One contiguous write then fsync: a crash leaves at most one torn
-    // trailing record, which read_journal truncates away on resume.
-    write_all(fd_, record.bytes.data(), record.bytes.size(), path_);
-    ::fsync(fd_);
+void
+JournalWriter::append_lease(std::uint64_t seq)
+{
+    append_framed(fd_, mutex_, encode_lease_payload(seq), path_);
 }
 
 void
@@ -335,9 +504,20 @@ JournalWriter::close()
     }
 }
 
+JournalHeader
+read_journal_header(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw Error("cannot read journal").with("path", path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::size_t size = 0;
+    return decode_header(data, path, size);
+}
+
 std::vector<JournalRecord>
-read_journal(const std::string &path, const std::string &sweep,
-             std::uint64_t master_seed)
+read_journal(const std::string &path, const JournalHeader &expect)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -346,23 +526,12 @@ read_journal(const std::string &path, const std::string &sweep,
                      std::istreambuf_iterator<char>());
     in.close();
 
-    const std::string header = encode_header(sweep, master_seed);
-    if (data.size() < header.size() ||
-        std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
-        throw Error("journal is not an anvil sweep journal")
-            .with("path", path);
-    }
-    if (data.compare(0, header.size(), header) != 0) {
-        throw Error("journal belongs to a different sweep configuration "
-                    "(name or master seed mismatch); delete it or rerun "
-                    "without --resume")
-            .with("path", path)
-            .with("sweep", sweep)
-            .with_hex("master_seed", master_seed);
-    }
+    std::size_t header_size = 0;
+    const JournalHeader got = decode_header(data, path, header_size);
+    validate_header(got, expect, path);
 
     std::vector<JournalRecord> records;
-    std::size_t offset = header.size();
+    std::size_t offset = header_size;
     while (offset < data.size()) {
         const std::size_t record_start = offset;
         constexpr std::size_t kPrefix =
@@ -382,7 +551,8 @@ read_journal(const std::string &path, const std::string &sweep,
                 torn = true;  // corrupt: treat like a torn tail
             } else {
                 try {
-                    records.push_back(decode_payload(payload, size));
+                    if (auto rec = decode_payload(payload, size))
+                        records.push_back(std::move(*rec));
                 } catch (const Error &) {
                     torn = true;
                 }
@@ -404,6 +574,16 @@ read_journal(const std::string &path, const std::string &sweep,
         offset += kPrefix + size;
     }
     return records;
+}
+
+std::vector<JournalRecord>
+read_journal(const std::string &path, const std::string &sweep,
+             std::uint64_t master_seed)
+{
+    JournalHeader expect;
+    expect.sweep = sweep;
+    expect.master_seed = master_seed;
+    return read_journal(path, expect);
 }
 
 }  // namespace anvil::runner

@@ -16,6 +16,12 @@
  *   --inject-fault S   deterministic fault "kind@scenario:trial" (CI/tests)
  *   --help             usage
  *
+ * Sharded-campaign flags (EXPERIMENTS.md "Sharded runs"): a shard child
+ * is selected with --shard-index/--shard-count (+ optional
+ * --shard-trials A-B[,C-D...] and --lease-interval-ms), and a supervisor
+ * is tuned with --shards, --respawn-budget, --lease-timeout-ms,
+ * --backoff-ms and --shard-jobs. `anvil-sim merge` accepts --check.
+ *
  * Unrecognized non-flag arguments are passed through as positionals so
  * benches keep their historical argument (e.g. seconds per cell).
  */
@@ -30,6 +36,17 @@
 
 namespace anvil::runner {
 
+/** Supervisor tuning knobs (anvil-sim supervise). */
+struct SupervisorCli {
+    std::uint32_t shards = 4;            ///< --shards
+    unsigned respawn_budget = 3;         ///< --respawn-budget
+    std::uint64_t lease_timeout_ms = 10000;  ///< --lease-timeout-ms
+    std::uint64_t backoff_ms = 200;      ///< --backoff-ms
+    /// --shard-jobs: worker threads per shard child; 0 = divide the
+    /// machine's hardware threads evenly across the shards.
+    unsigned shard_jobs = 0;
+};
+
 /** Parsed command line of a runner-based bench binary. */
 struct CliOptions {
     SweepOptions sweep;
@@ -37,6 +54,10 @@ struct CliOptions {
     std::uint64_t trials = 0;
     /// Non-flag arguments, in order.
     std::vector<std::string> positional;
+    /// Supervisor knobs (meaningful to `anvil-sim supervise` only).
+    SupervisorCli supervisor;
+    /// --check: merge validates shard journals without writing a report.
+    bool check = false;
 
     /** Trial count: the --trials override, else @p bench_default. */
     std::uint64_t

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include <fcntl.h>
@@ -35,6 +37,56 @@ journaling_enabled(const SweepOptions &options)
     return !options.replay_trial && !options.json_out.empty() &&
            options.json_out != "-";
 }
+
+/**
+ * Appends a lease heartbeat to @p journal every @p interval_ms until
+ * stopped, so a supervisor watching the journal grow can distinguish a
+ * shard mid-long-trial from one that is wedged (a stopped or deadlocked
+ * process stops beating).
+ */
+class LeaseHeartbeat
+{
+  public:
+    LeaseHeartbeat(JournalWriter &journal, std::uint64_t interval_ms)
+    {
+        if (interval_ms == 0 || !journal.is_open())
+            return;
+        thread_ = std::thread([this, &journal, interval_ms] {
+            std::uint64_t seq = 0;
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (!cv_.wait_for(lock,
+                                 std::chrono::milliseconds(interval_ms),
+                                 [this] { return stop_; })) {
+                try {
+                    journal.append_lease(seq++);
+                } catch (const Error &) {
+                    // Heartbeats are liveness evidence, not data; a
+                    // failing append means the journal itself is dying
+                    // and the supervisor will see the silence.
+                    return;
+                }
+            }
+        });
+    }
+
+    ~LeaseHeartbeat()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
 
 std::string
 boundary_error(const char *what_happened, const TrialSpec &spec,
@@ -70,7 +122,7 @@ run_one(const TrialSpec &spec, const TrialFn &fn,
             TrialContext ctx(spec);
             ctx.watchdog().arm(options.trial_timeout);
             if (fault != nullptr)
-                FaultPlan::inject_before(*fault, ctx, attempt);
+                faults.inject_before(*fault, ctx, attempt);
             outcome.result = fn(ctx);
             if (fault != nullptr)
                 FaultPlan::inject_after(*fault, spec, outcome.result);
@@ -121,6 +173,16 @@ install_signal_handlers()
     std::signal(SIGTERM, shutdown_signal_handler);
 }
 
+bool
+ShardAssignment::owns(std::uint64_t index) const
+{
+    for (const TrialRange &range : ranges) {
+        if (range.contains(index))
+            return true;
+    }
+    return false;
+}
+
 Sweep::Sweep(SweepOptions options) : options_(std::move(options)) {}
 
 void
@@ -146,6 +208,21 @@ Sweep::plan() const
         }
     }
     return pending;
+}
+
+std::vector<TrialSpec>
+Sweep::plan_specs() const
+{
+    std::vector<TrialSpec> specs;
+    for (const Pending &p : plan())
+        specs.push_back(p.spec);
+    return specs;
+}
+
+std::uint64_t
+Sweep::plan_digest() const
+{
+    return plan_hash(plan_specs());
 }
 
 SweepRun
@@ -174,14 +251,38 @@ Sweep::run()
     run.outcomes.resize(pending.size());
     std::vector<bool> replayed(pending.size(), false);
 
+    // A sharded run executes only its assigned ranges; everything else
+    // in the plan belongs to sibling processes. `mine[i]` is the
+    // ownership mask (all-true when unsharded).
+    const ShardAssignment *shard =
+        options_.shard ? &*options_.shard : nullptr;
+    std::vector<bool> mine(pending.size(), true);
+    if (shard != nullptr) {
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            mine[i] = shard->owns(pending[i].spec.global_index);
+    }
+
     // Checkpoint/resume: replay the journal, validate each record against
     // the plan (the sweep definition must not have changed under us), and
-    // pre-fill those slots so only the remainder executes.
+    // pre-fill those slots so only the remainder executes. A shard always
+    // resumes from its own journal — that is how a respawned child picks
+    // up where its predecessor crashed.
     const bool journaling = journaling_enabled(options_);
-    const std::string jpath = journal_path(options_.json_out);
-    if (options_.resume && journaling) {
-        for (JournalRecord &rec :
-             read_journal(jpath, options_.name, options_.master_seed)) {
+    const bool resuming = options_.resume || shard != nullptr;
+    JournalHeader header;
+    header.sweep = options_.name;
+    header.master_seed = options_.master_seed;
+    header.plan_hash = plan_digest();
+    if (shard != nullptr) {
+        header.shard_index = shard->index;
+        header.shard_count = shard->count;
+    }
+    const std::string jpath =
+        shard != nullptr
+            ? shard_journal_path(options_.json_out, shard->index)
+            : journal_path(options_.json_out);
+    if (resuming && journaling) {
+        for (JournalRecord &rec : read_journal(jpath, header)) {
             const std::uint64_t i = rec.spec.global_index;
             if (i >= pending.size() ||
                 pending[i].spec.scenario != rec.spec.scenario ||
@@ -196,21 +297,26 @@ Sweep::run()
             }
             run.outcomes[i] = std::move(rec.outcome);
             replayed[i] = true;
-            ++run.resumed;
+            // Records outside this shard's assignment (an earlier
+            // requeue unit run by the same slot) are durable facts the
+            // merge will collect; they are not "resumed work" here.
+            if (mine[i])
+                ++run.resumed;
         }
     }
 
     JournalWriter journal;
     if (journaling) {
         try {
-            journal.open(jpath, options_.name, options_.master_seed,
-                         /*append=*/options_.resume);
+            journal.open(jpath, header, /*append=*/resuming);
         } catch (const Error &e) {
-            // A journal we cannot resume from is a configuration fault;
-            // a journal we merely cannot create is not worth killing the
-            // sweep over — run unjournaled and let the final report
-            // write surface the unwritable path as its own exit code.
-            if (options_.resume)
+            // A journal we cannot resume from is a configuration fault,
+            // and a shard without a journal would do work the merge can
+            // never see; a journal a plain sweep merely cannot create is
+            // not worth killing the run over — run unjournaled and let
+            // the final report write surface the unwritable path as its
+            // own exit code.
+            if (options_.resume || shard != nullptr)
                 throw;
             std::cerr << "[runner] " << options_.name
                       << ": running without a checkpoint journal: "
@@ -225,7 +331,13 @@ Sweep::run()
                                   : ThreadPool::default_threads());
     run.jobs_used = jobs;
 
-    const FaultPlan faults(options_.faults);
+    FaultPlan faults(options_.faults);
+    if (journaling)
+        faults.set_marker_base(options_.json_out);
+    // Shards prove liveness between trial completions; a supervisor
+    // whose lease on this journal expires declares the shard hung.
+    LeaseHeartbeat heartbeat(
+        journal, shard != nullptr ? shard->lease_interval_ms : 0);
     const auto execute = [&](std::size_t i) {
         // The drain point: a shutdown request skips every trial that has
         // not started yet; in-flight trials run to completion.
@@ -256,7 +368,7 @@ Sweep::run()
     const auto wall_start = std::chrono::steady_clock::now();
     if (jobs <= 1 || pending.size() <= 1) {
         for (std::size_t i = 0; i < pending.size(); ++i) {
-            if (!replayed[i])
+            if (mine[i] && !replayed[i])
                 execute(i);
         }
     } else {
@@ -264,7 +376,7 @@ Sweep::run()
         for (std::size_t i = 0; i < pending.size(); ++i) {
             // Each task writes only its own pre-allocated slot;
             // wait_idle() publishes all slots to this thread.
-            if (!replayed[i])
+            if (mine[i] && !replayed[i])
                 pool.submit([&execute, i] { execute(i); });
         }
         pool.wait_idle();
@@ -276,8 +388,12 @@ Sweep::run()
 
     // Aggregate strictly in plan order: output is independent of the
     // completion order above, and of which trials were journal replays.
+    // A shard aggregates (and reports) only its assigned trials — its
+    // durable output is the journal, and the merge owns the JSON.
     run.sink.set_meta(options_.name, options_.master_seed);
     for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!mine[i])
+            continue;
         const TrialOutcome &outcome = run.outcomes[i];
         switch (outcome.status) {
           case TrialStatus::kSkipped:
@@ -295,6 +411,8 @@ Sweep::run()
     }
 
     for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!mine[i])
+            continue;
         const TrialOutcome &outcome = run.outcomes[i];
         if (!outcome.failed())
             continue;
@@ -309,9 +427,14 @@ Sweep::run()
                   << " (replay with --jobs 1 --replay-trial "
                   << pending[i].spec.global_index << ")\n";
     }
-    std::cerr << "[runner] " << options_.name << ": " << pending.size()
-              << " trial(s) on " << jobs << " job(s) in "
-              << run.wall_seconds << " s";
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        assigned += mine[i] ? 1 : 0;
+    std::cerr << "[runner] " << options_.name;
+    if (shard != nullptr)
+        std::cerr << " shard " << shard->index << "/" << shard->count;
+    std::cerr << ": " << assigned << " trial(s) on " << jobs
+              << " job(s) in " << run.wall_seconds << " s";
     if (run.resumed != 0)
         std::cerr << ", " << run.resumed << " resumed from journal";
     if (run.failed != 0)
@@ -364,6 +487,10 @@ atomic_write_file(const std::string &path, const std::string &data)
         std::remove(tmp.c_str());
         return false;
     }
+    // The rename is only durable once the directory entry is: without
+    // this, a power cut after "commit" could leave neither the report
+    // nor (the journal having been removed next) anything to resume.
+    fsync_parent_dir(path);
     return true;
 }
 
@@ -406,4 +533,13 @@ finish_sweep(const SweepRun &run, const SweepOptions &options)
     return run.failed != 0 ? kExitTrialFailure : kExitOk;
 }
 
+int
+finish_shard(const SweepRun &run)
+{
+    if (!run.complete())
+        return kExitPartial;
+    return run.failed != 0 ? kExitTrialFailure : kExitOk;
+}
+
 }  // namespace anvil::runner
+

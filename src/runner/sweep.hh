@@ -45,6 +45,39 @@
 
 namespace anvil::runner {
 
+/** An inclusive range of global trial indices. */
+struct TrialRange {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+
+    bool
+    contains(std::uint64_t index) const
+    {
+        return index >= first && index <= last;
+    }
+    std::uint64_t size() const { return last - first + 1; }
+};
+
+/**
+ * One shard's slice of a sharded campaign: which trials this process
+ * owns, its identity within the shard set, and how often it proves
+ * liveness. A sharded Sweep::run() journals to
+ * `<json-out>.shard-K.journal`, always resumes from that journal, never
+ * writes the JSON report (the supervisor's merge does), and appends a
+ * lease heartbeat every @p lease_interval_ms so a supervisor can tell
+ * slow progress from a wedged process.
+ */
+struct ShardAssignment {
+    std::uint32_t index = 0;  ///< shard slot K
+    std::uint32_t count = 1;  ///< shards in the campaign
+    /// Trials this process owns; disjoint, ascending. Empty = none
+    /// (an empty shard exits immediately with a valid, bare journal).
+    std::vector<TrialRange> ranges;
+    std::uint64_t lease_interval_ms = 500;
+
+    bool owns(std::uint64_t index) const;
+};
+
 /** How a sweep executes (not what it computes). */
 struct SweepOptions {
     std::string name = "sweep";
@@ -64,6 +97,9 @@ struct SweepOptions {
     bool resume = false;
     /// Deterministic fault injections (tests / CI).
     std::vector<FaultSpec> faults;
+    /// When set, run as one shard of a multi-process campaign (implies
+    /// resume-from-shard-journal; requires a file json_out).
+    std::optional<ShardAssignment> shard;
 };
 
 /** Computes one trial's TrialResult. Must be thread-safe & self-contained. */
@@ -110,6 +146,17 @@ class Sweep
     SweepRun run();
 
     const SweepOptions &options() const { return options_; }
+
+    /**
+     * The full deterministic trial plan (every scenario × trial, seeds
+     * assigned) — what a supervisor partitions into shards and a merge
+     * validates journals against. Independent of shard assignment and
+     * replay filtering.
+     */
+    std::vector<TrialSpec> plan_specs() const;
+
+    /** plan_hash() over plan_specs(). */
+    std::uint64_t plan_digest() const;
 
   private:
     struct Pending {
@@ -161,6 +208,12 @@ enum ExitCode : int {
     kExitUsage = 2,         ///< bad command line / unknown sweep
     kExitPartial = 3,       ///< drained by shutdown; resumable
     kExitTrialFailure = 4,  ///< complete, but >= 1 trial failed
+    kExitShardDead = 5,     ///< supervisor: trials outstanding after
+                            ///< every shard slot exhausted its respawn
+                            ///< budget (rerun `supervise` to continue)
+    kExitMergeError = 6,    ///< merge: shard journals incomplete,
+                            ///< conflicting, or invalid — no report
+                            ///< was written
 };
 
 /**
@@ -180,6 +233,16 @@ bool write_json_output(const ResultSink &sink, const SweepOptions &options);
  * kExitJsonError when the report could not be written, else kExitOk.
  */
 int finish_sweep(const SweepRun &run, const SweepOptions &options);
+
+/**
+ * Finishes a *shard* run: no JSON report (the supervisor's merge folds
+ * the shard journals into the canonical one), just the exit-code
+ * mapping — kExitPartial when a drain left assigned trials unrun,
+ * kExitTrialFailure when any assigned trial failed, else kExitOk.
+ * Either way every completed trial is already durable in the shard
+ * journal.
+ */
+int finish_shard(const SweepRun &run);
 
 }  // namespace anvil::runner
 

@@ -55,6 +55,14 @@ std::uint64_t trial_seed(std::uint64_t master_seed,
 std::uint64_t sub_seed(std::uint64_t seed, std::string_view stream);
 
 /**
+ * Order-sensitive digest of a whole trial plan (every spec's scenario,
+ * trial index, seed, and global index). Shard journals record it so a
+ * merge or resume can refuse records produced against a different sweep
+ * definition without replaying them first.
+ */
+std::uint64_t plan_hash(const std::vector<TrialSpec> &plan);
+
+/**
  * Deterministic per-trial deadline: a budget of simulated events (memory
  * accesses). The trial body charges events via tick(); exhausting the
  * budget throws TimeoutError, which the sweep records as a timed-out

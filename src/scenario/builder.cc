@@ -506,8 +506,8 @@ ScenarioBuilder::run_trial(const ScenarioSpec &spec,
     return builder.emit();
 }
 
-runner::SweepRun
-run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
+runner::Sweep
+make_sweep(const SweepSpec &spec, runner::CliOptions &cli)
 {
     validate(spec);
 
@@ -522,6 +522,13 @@ run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
                                return ScenarioBuilder::run_trial(cell, ctx);
                            });
     }
+    return sweep;
+}
+
+runner::SweepRun
+run_sweep(const SweepSpec &spec, runner::CliOptions &cli)
+{
+    runner::Sweep sweep = make_sweep(spec, cli);
     runner::SweepRun run = sweep.run();
     if (spec.finalize)
         spec.finalize(run.sink);

@@ -3,28 +3,42 @@
  * anvil-sim: the single driver for every paper table/figure sweep.
  *
  *   anvil-sim --list                         enumerate scenario sweeps
- *   anvil-sim SWEEP [args] [runner flags]    run one sweep
+ *   anvil-sim [run] SWEEP [args] [flags]     run one sweep in-process
+ *   anvil-sim supervise SWEEP [args] [flags] sharded multi-process run
+ *   anvil-sim shard SWEEP [args] [flags]     one shard child (internal)
+ *   anvil-sim merge SWEEP [args] [flags]     fold shard journals into
+ *                                            the report (--check: only
+ *                                            validate, write nothing)
  *
  * The sweep definitions live in the scenario catalog
  * (src/scenario/catalog.cc); this binary only resolves the name, runs
  * the sweep through the shared parallel runner, and emits the standard
- * `anvil-sweep-v1` JSON report. The per-table bench binaries render the
- * paper's human-readable tables over the same definitions; output from
- * this driver is the machine-readable path (--json-out PATH or "-").
+ * `anvil-sweep-v1` JSON report. `supervise` splits the sweep's trial
+ * plan over --shards child processes (each `anvil-sim shard`, its own
+ * crash-isolated checkpoint journal), restarts or requeues dead shards,
+ * and merges the journals into a report byte-identical to a
+ * single-process run (EXPERIMENTS.md "Sharded runs").
  *
  * Exit codes (runner::ExitCode): 0 = complete and all trials ok;
  * 1 = report not writable; 2 = usage error; 3 = interrupted
- * (SIGINT/SIGTERM drained the sweep — rerun with --resume); 4 = complete
- * but at least one trial failed (see the JSON "failures" records).
+ * (SIGINT/SIGTERM drained the run — rerun the same command to resume);
+ * 4 = complete but at least one trial failed (see the JSON "failures"
+ * records); 5 = supervise: trials outstanding after every shard slot
+ * exhausted its respawn budget (journals kept — rerun to continue);
+ * 6 = merge: shard journals incomplete, conflicting, or invalid.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/text.hh"
 #include "runner/options.hh"
+#include "runner/shard.hh"
+#include "runner/supervisor.hh"
 #include "runner/sweep.hh"
 #include "scenario/builder.hh"
 #include "scenario/registry.hh"
@@ -59,6 +73,189 @@ nearest_sweep(const std::string &name)
     return near ? scenario::paper_registry().find(*near) : nullptr;
 }
 
+/** True when sharded verbs may use --json-out as a journal anchor. */
+bool
+require_file_json_out(const runner::CliOptions &cli, const char *verb)
+{
+    if (!cli.sweep.json_out.empty() && cli.sweep.json_out != "-")
+        return true;
+    std::fprintf(stderr,
+                 "anvil-sim: `%s` needs --json-out FILE (shard journals "
+                 "live next to the JSON report)\n",
+                 verb);
+    return false;
+}
+
+/** Prints merge diagnostics; returns the verb's exit code. */
+int
+report_merge_problems(const runner::MergeResult &merge)
+{
+    for (const std::string &line : merge.coverage)
+        std::fprintf(stderr, "anvil-sim: merge: %s\n", line.c_str());
+    for (const std::string &line : merge.problems)
+        std::fprintf(stderr, "anvil-sim: merge: error: %s\n", line.c_str());
+    return runner::kExitMergeError;
+}
+
+/**
+ * `anvil-sim shard`: run this process's slice of the campaign. The
+ * journal is the only output; the supervisor's merge writes the report.
+ */
+int
+run_shard(const scenario::SweepSpec &spec, runner::CliOptions &cli)
+{
+    if (!cli.sweep.shard) {
+        std::fprintf(stderr,
+                     "anvil-sim: `shard` needs --shard-index and "
+                     "--shard-count\n");
+        return runner::kExitUsage;
+    }
+    if (!require_file_json_out(cli, "shard"))
+        return runner::kExitUsage;
+    if (cli.sweep.shard->ranges.empty()) {
+        // No explicit --shard-trials: own shard K's slice of the even
+        // partition. Plan size requires a built sweep, so build twice —
+        // construction only registers closures, it runs nothing.
+        runner::CliOptions probe = cli;
+        const std::uint64_t total =
+            scenario::make_sweep(spec, probe).plan_specs().size();
+        cli.sweep.shard->ranges = runner::partition_trials(
+            total, cli.sweep.shard->count)[cli.sweep.shard->index];
+    }
+    runner::Sweep sweep = scenario::make_sweep(spec, cli);
+    return runner::finish_shard(sweep.run());
+}
+
+/**
+ * `anvil-sim supervise`: partition the plan over child `shard`
+ * processes, babysit them to durable completion, then merge.
+ */
+int
+run_supervise(const scenario::SweepFactory &factory,
+              const scenario::SweepSpec &spec, runner::CliOptions &cli)
+{
+    if (!require_file_json_out(cli, "supervise"))
+        return runner::kExitUsage;
+    if (cli.supervisor.shards == 0) {
+        std::fprintf(stderr, "anvil-sim: --shards must be at least 1\n");
+        return runner::kExitUsage;
+    }
+
+    runner::Sweep sweep = scenario::make_sweep(spec, cli);
+    const std::vector<runner::TrialSpec> plan = sweep.plan_specs();
+
+    runner::SupervisorOptions sup;
+    sup.exe = "/proc/self/exe";
+    sup.json_out = cli.sweep.json_out;
+    sup.sweep = cli.sweep.name;
+    sup.master_seed = cli.sweep.master_seed;
+    sup.shards = cli.supervisor.shards;
+    sup.respawn_budget = cli.supervisor.respawn_budget;
+    sup.lease_timeout_ms = cli.supervisor.lease_timeout_ms;
+    sup.backoff_ms = cli.supervisor.backoff_ms;
+
+    // Children re-run this binary's `shard` verb over the same sweep
+    // with the same determinism-relevant flags; the supervisor appends
+    // the per-shard assignment itself.
+    std::vector<std::string> &args = sup.child_args;
+    args.push_back("shard");
+    args.push_back(factory.name);
+    args.insert(args.end(), cli.positional.begin(), cli.positional.end());
+    args.push_back("--json-out");
+    args.push_back(cli.sweep.json_out);
+    args.push_back("--master-seed");
+    args.push_back(std::to_string(cli.sweep.master_seed));
+    if (cli.trials != 0) {
+        args.push_back("--trials");
+        args.push_back(std::to_string(cli.trials));
+    }
+    if (cli.sweep.retries != 0) {
+        args.push_back("--retries");
+        args.push_back(std::to_string(cli.sweep.retries));
+    }
+    if (cli.sweep.trial_timeout != 0) {
+        args.push_back("--trial-timeout");
+        args.push_back(std::to_string(cli.sweep.trial_timeout));
+    }
+    unsigned jobs = cli.supervisor.shard_jobs;
+    if (jobs == 0) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        jobs = std::max(1u, hw / std::max(1u, sup.shards));
+    }
+    args.push_back("--jobs");
+    args.push_back(std::to_string(jobs));
+    for (const runner::FaultSpec &fault : cli.sweep.faults) {
+        args.push_back("--inject-fault");
+        args.push_back(runner::to_string(fault));
+    }
+
+    const runner::SupervisorReport report =
+        runner::supervise(plan, sup);
+    if (report.interrupted)
+        return runner::kExitPartial;
+    if (!report.complete)
+        return runner::kExitShardDead;
+
+    runner::MergeOptions mo;
+    mo.json_out = cli.sweep.json_out;
+    mo.shard_count = sup.shards;
+    runner::MergeResult merge =
+        runner::merge_shards(plan, cli.sweep.name, cli.sweep.master_seed,
+                             mo);
+    if (!merge.complete())
+        return report_merge_problems(merge);
+    if (spec.finalize)
+        spec.finalize(merge.sink);
+    if (!runner::write_json_output(merge.sink, cli.sweep))
+        return runner::kExitJsonError;
+    // The report is durable; the shard journals' work is committed.
+    runner::remove_shard_journals(cli.sweep.json_out, sup.shards);
+    return merge.failed != 0 ? runner::kExitTrialFailure
+                             : runner::kExitOk;
+}
+
+/**
+ * `anvil-sim merge`: fold existing shard journals into the report —
+ * the manual recovery path, and (--check) the campaign validator.
+ */
+int
+run_merge(const scenario::SweepSpec &spec, runner::CliOptions &cli)
+{
+    if (!require_file_json_out(cli, "merge"))
+        return runner::kExitUsage;
+    runner::Sweep sweep = scenario::make_sweep(spec, cli);
+    const std::vector<runner::TrialSpec> plan = sweep.plan_specs();
+
+    runner::MergeOptions mo;
+    mo.json_out = cli.sweep.json_out;
+    mo.shard_count = cli.supervisor.shards;
+    mo.check = cli.check;
+    runner::MergeResult merge =
+        runner::merge_shards(plan, cli.sweep.name, cli.sweep.master_seed,
+                             mo);
+    if (!merge.complete())
+        return report_merge_problems(merge);
+    if (cli.check) {
+        for (const std::string &line : merge.coverage)
+            std::fprintf(stderr, "anvil-sim: merge: %s\n", line.c_str());
+        std::fprintf(stderr,
+                     "anvil-sim: merge: ok — %llu trial(s) across %u "
+                     "shard journal(s), %llu failure record(s)\n",
+                     static_cast<unsigned long long>(merge.merged),
+                     mo.shard_count,
+                     static_cast<unsigned long long>(merge.failed));
+        return runner::kExitOk;
+    }
+    if (spec.finalize)
+        spec.finalize(merge.sink);
+    if (!runner::write_json_output(merge.sink, cli.sweep))
+        return runner::kExitJsonError;
+    runner::remove_shard_journals(cli.sweep.json_out, mo.shard_count);
+    return merge.failed != 0 ? runner::kExitTrialFailure
+                             : runner::kExitOk;
+}
+
 }  // namespace
 
 int
@@ -75,12 +272,20 @@ main(int argc, char **argv)
 
     runner::CliOptions cli = runner::CliOptions::parse(
         argc, argv,
-        "  positional: [run] scenario sweep name, then its own arguments\n"
+        "  positional: [run|supervise|shard|merge] scenario sweep name,\n"
+        "              then the sweep's own arguments\n"
         "  --list             print the registered scenario sweeps\n");
     // `anvil-sim run SWEEP` reads naturally in CI scripts and docs; the
     // verb is optional and never a sweep name itself.
-    if (!cli.positional.empty() && cli.positional.front() == "run")
+    std::string verb = "run";
+    if (!cli.positional.empty() &&
+        (cli.positional.front() == "run" ||
+         cli.positional.front() == "shard" ||
+         cli.positional.front() == "supervise" ||
+         cli.positional.front() == "merge")) {
+        verb = cli.positional.front();
         cli.positional.erase(cli.positional.begin());
+    }
     if (cli.positional.empty()) {
         std::fprintf(stderr,
                      "anvil-sim: expected a scenario sweep name "
@@ -107,13 +312,19 @@ main(int argc, char **argv)
     // would: argument 0 is the first after the sweep name.
     cli.positional.erase(cli.positional.begin());
 
-    // SIGINT/SIGTERM drain the sweep instead of killing it: in-flight
-    // trials finish, the journal is flushed, and we exit kExitPartial so
-    // the run is resumable with --resume.
+    // SIGINT/SIGTERM drain instead of kill: in-flight trials (or shard
+    // children) finish what they started, journals stay on disk, and we
+    // exit kExitPartial so the run is resumable.
     runner::install_signal_handlers();
 
     try {
         const scenario::SweepSpec spec = factory->make(cli);
+        if (verb == "shard")
+            return run_shard(spec, cli);
+        if (verb == "supervise")
+            return run_supervise(*factory, spec, cli);
+        if (verb == "merge")
+            return run_merge(spec, cli);
         runner::SweepRun run = scenario::run_sweep(spec, cli);
         return runner::finish_sweep(run, cli.sweep);
     } catch (const Error &e) {
